@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 6: learning to route on a fixed graph.
+
+Paper series (Abilene, 500k steps): bar heights are the mean ratio between
+achieved max-link-utilisation and the optimum; MLP ≈ 1.18, GNN ≈ 1.11,
+GNN-Iterative ≈ 1.14, shortest-path dotted line ≈ 1.30 (read off Fig. 6).
+Expected shape at any scale: every learned policy ≤ shortest path; GNN
+policies ≤ MLP (approximately).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+from repro.experiments.reporting import format_fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_fixed_graph(benchmark, bench_scale):
+    result = run_once(benchmark, fig6.run, bench_scale, seed=0)
+    print()
+    print(format_fig6(result))
+
+    rows = dict((label, mean) for label, mean in result.rows())
+    sp = rows["Shortest path (dotted line)"]
+
+    # All ratios are valid (>= 1 up to LP tolerance).
+    for label, mean in rows.items():
+        assert mean >= 1.0 - 1e-6, label
+
+    # Paper shape: learned policies beat classical shortest path.  The quick
+    # preset trains for seconds, so allow a small tolerance above the line.
+    for label in ("MLP", "GNN", "GNN Iterative"):
+        assert rows[label] <= sp * 1.15, (label, rows[label], sp)

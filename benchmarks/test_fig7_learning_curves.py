@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 7: learning curves for MLP and GNN.
+
+Paper series: mean total reward per episode over 500k timesteps; both
+policies improve from ≈ -130 toward ≈ -80; the GNN plateaus earlier and
+ends higher.  Expected shape at any scale: both curves are finite,
+monotone-ish in trend, and the series has one point per PPO update.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7
+from repro.experiments.reporting import format_fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_learning_curves(benchmark, bench_scale):
+    result = run_once(benchmark, fig7.run, bench_scale, seed=0)
+    print()
+    print(format_fig7(result))
+
+    for curve in result.curves():
+        assert len(curve.timesteps) == bench_scale.total_timesteps // bench_scale.n_steps
+        assert all(np.isfinite(r) for r in curve.mean_episode_rewards)
+        # Rewards are negative utilisation-ratio sums: strictly below zero.
+        assert all(r < 0.0 for r in curve.mean_episode_rewards)
+
+    # Same training volume for both agents (the paper's parity premise).
+    assert result.mlp.timesteps == result.gnn.timesteps

@@ -1,0 +1,109 @@
+"""Microbenchmarks for the per-step costs of the GDDR loop.
+
+The paper notes training is CPU-bound on the LP step; these benches break
+one environment step into its parts so the claim can be checked on this
+implementation: LP solve, softmin translation, flow simulation, GNN
+forward pass, and a full PPO update.
+"""
+
+import numpy as np
+import pytest
+
+from repro.envs.observation import GraphObservation
+from repro.flows.lp import solve_optimal_max_utilisation
+from repro.flows.simulator import link_loads
+from repro.gnn import batch_graphs
+from repro.graphs import abilene, nsfnet
+from repro.policies import GNNPolicy, MLPPolicy
+from repro.routing.softmin import softmin_routing
+from repro.traffic import bimodal_matrix
+
+
+@pytest.fixture(scope="module")
+def setup():
+    net = abilene()
+    dm = bimodal_matrix(net.num_nodes, seed=0)
+    weights = np.random.default_rng(0).uniform(0.3, 3.0, net.num_edges)
+    return net, dm, weights
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lp_solve_abilene(benchmark, setup):
+    net, dm, _ = setup
+    result = benchmark(solve_optimal_max_utilisation, net, dm)
+    assert result.max_utilisation > 0.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lp_solve_nsfnet(benchmark):
+    net = nsfnet()
+    dm = bimodal_matrix(net.num_nodes, seed=1)
+    result = benchmark(solve_optimal_max_utilisation, net, dm)
+    assert result.max_utilisation > 0.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_softmin_translation(benchmark, setup):
+    net, _, weights = setup
+    routing = benchmark(softmin_routing, net, weights, 2.0)
+    assert routing is not None
+
+
+@pytest.mark.benchmark(group="micro")
+def test_flow_simulation(benchmark, setup):
+    net, dm, weights = setup
+    routing = softmin_routing(net, weights, gamma=2.0)
+    loads = benchmark(link_loads, net, routing, dm)
+    assert np.all(np.isfinite(loads))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_gnn_policy_forward(benchmark, setup):
+    net, dm, _ = setup
+    policy = GNNPolicy(memory_length=5, latent=16, hidden=32, num_processing_steps=3, seed=0)
+    history = np.stack([dm] * 5) / dm.mean()
+    obs = GraphObservation(net, history)
+    rng = np.random.default_rng(0)
+    action, _, _ = benchmark(policy.act, obs, rng)
+    assert action.shape == (net.num_edges,)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_mlp_policy_forward(benchmark, setup):
+    net, dm, _ = setup
+    policy = MLPPolicy(net.num_nodes, net.num_edges, memory_length=5, seed=0)
+    history = np.stack([dm] * 5) / dm.mean()
+    obs = GraphObservation(net, history)
+    rng = np.random.default_rng(0)
+    action, _, _ = benchmark(policy.act, obs, rng)
+    assert action.shape == (net.num_edges,)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_gnn_batched_evaluate(benchmark, setup):
+    """One training minibatch: 32 observations through one GraphsTuple."""
+    net, dm, _ = setup
+    policy = GNNPolicy(memory_length=5, latent=16, hidden=32, num_processing_steps=3, seed=0)
+    history = np.stack([dm] * 5) / dm.mean()
+    observations = [GraphObservation(net, history) for _ in range(32)]
+    rng = np.random.default_rng(0)
+    actions = [rng.normal(size=net.num_edges) for _ in range(32)]
+
+    def evaluate():
+        log_probs, values, entropy = policy.evaluate(observations, actions)
+        return log_probs
+
+    log_probs = benchmark(evaluate)
+    assert log_probs.shape == (32,)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_graph_batching(benchmark, setup):
+    net, dm, _ = setup
+    feats = [dm.sum(axis=1)[:, None] for _ in range(64)]
+
+    def build():
+        return batch_graphs([net] * 64, node_features=feats)
+
+    graph = benchmark(build)
+    assert graph.num_graphs == 64

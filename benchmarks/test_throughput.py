@@ -1,0 +1,26 @@
+"""Benchmark for §VIII-D training-throughput parity.
+
+Paper prose: "Both agents learnt at the same rate of roughly 70 frames per
+second" on 6 CPU cores (500k steps ≈ 2 hours) — i.e. the GNN adds no
+meaningful training-time overhead because the LP reward dominates.
+Expected shape: MLP and GNN steps/second within a small factor of each
+other (we assert < 8x to stay robust on loaded CI machines; typical
+measured overhead here is 1-2x).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import throughput
+from repro.experiments.reporting import format_throughput
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_throughput_parity(benchmark, bench_scale):
+    result = run_once(benchmark, throughput.run, bench_scale, seed=0)
+    print()
+    print(format_throughput(result))
+
+    assert result.mlp_fps > 0.0
+    assert result.gnn_fps > 0.0
+    assert result.gnn_overhead < 8.0, result.gnn_overhead

@@ -1,0 +1,56 @@
+"""GDDR: GNN-based Data-Driven Routing — full reproduction.
+
+Reproduces Hope & Yoneki, *GDDR: GNN-based Data-Driven Routing*, ICDCS
+2021 (arXiv:2104.09919): deep-RL intradomain traffic engineering where a
+graph-neural-network policy maps demand history to softmin edge weights,
+generalising across network topologies.
+
+Subpackage map (bottom-up):
+
+==================  =======================================================
+``repro.tensor``    reverse-mode autodiff engine (TensorFlow substitute)
+``repro.gnn``       Battaglia-style graph-network blocks (graph_nets subst.)
+``repro.rl``        Gym-style env API + PPO (stable-baselines substitute)
+``repro.graphs``    capacitated topologies: zoo, generators, modifications
+``repro.traffic``   bimodal/gravity demand matrices, cyclical sequences
+``repro.flows``     optimal-routing LP oracle + splitting-ratio simulator
+``repro.routing``   softmin translation, DAG pruning, classical baselines
+``repro.envs``      the GDDR routing environments (one-shot / iterative)
+``repro.policies``  MLP baseline, one-shot GNN, iterative GNN policies
+``repro.tuning``    random-search hyperparameter tuner (OpenTuner subst.)
+``repro.experiments`` per-figure experiment harness
+==================  =======================================================
+"""
+
+__version__ = "1.0.0"
+
+from repro.graphs import Network, abilene, nsfnet
+from repro.traffic import cyclical_sequence, train_test_sequences
+from repro.flows import solve_optimal_max_utilisation, max_link_utilisation, utilisation_ratio
+from repro.routing import softmin_routing, shortest_path_routing, ecmp_routing
+from repro.envs import RoutingEnv, IterativeRoutingEnv, MultiGraphRoutingEnv
+from repro.policies import MLPPolicy, GNNPolicy, IterativeGNNPolicy
+from repro.rl import PPO, PPOConfig
+
+__all__ = [
+    "__version__",
+    "Network",
+    "abilene",
+    "nsfnet",
+    "cyclical_sequence",
+    "train_test_sequences",
+    "solve_optimal_max_utilisation",
+    "max_link_utilisation",
+    "utilisation_ratio",
+    "softmin_routing",
+    "shortest_path_routing",
+    "ecmp_routing",
+    "RoutingEnv",
+    "IterativeRoutingEnv",
+    "MultiGraphRoutingEnv",
+    "MLPPolicy",
+    "GNNPolicy",
+    "IterativeGNNPolicy",
+    "PPO",
+    "PPOConfig",
+]

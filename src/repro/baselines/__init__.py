@@ -1,0 +1,29 @@
+"""Non-learned baselines beyond classical shortest-path routing.
+
+The paper's §II motivates data-driven routing by dismissing the obvious
+alternative: "predict future demands and then derive routings by solving
+the multicommodity flow problem … this does not lead to good results when
+the predictions are incorrect."  This package implements exactly that
+pipeline so the claim can be measured:
+
+* :mod:`~repro.baselines.prediction` — demand predictors (last value,
+  history mean, cycle-aware) and the predict-then-optimise routing built
+  on the LP oracle.
+
+(The LP-derived oblivious baseline lives in :mod:`repro.routing.oblivious`;
+shortest-path/ECMP in :mod:`repro.routing.shortest_path`.)
+"""
+
+from repro.baselines.prediction import (
+    CyclicPredictor,
+    HistoryMeanPredictor,
+    LastValuePredictor,
+    prediction_based_routing,
+)
+
+__all__ = [
+    "LastValuePredictor",
+    "HistoryMeanPredictor",
+    "CyclicPredictor",
+    "prediction_based_routing",
+]

@@ -1,0 +1,101 @@
+"""Predict-then-optimise routing (the paper's §II strawman, made concrete).
+
+Pipeline: a :class:`DemandPredictor` maps the observed demand history to a
+forecast of the next demand matrix; the LP oracle computes the optimal
+routing *for the forecast*; that routing is applied to the true (unseen)
+demand.  When the forecast is perfect this achieves the optimum; when it
+is wrong the routing can be arbitrarily bad — which is the paper's
+argument for learning routing strategies directly instead of predicting
+demands as a substep.
+
+Predictors:
+
+* :class:`LastValuePredictor` — tomorrow looks like today;
+* :class:`HistoryMeanPredictor` — average of the observed window;
+* :class:`CyclicPredictor` — exploits the workload's known period ``q``
+  (the strongest forecast available for the paper's cyclical sequences:
+  the DM one full cycle ago *is* the next DM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.network import Network
+from repro.routing.oblivious import lp_derived_routing
+from repro.routing.strategy import DestinationRouting
+
+
+class DemandPredictor:
+    """Base: map a demand history ``(memory, n, n)`` to one forecast DM."""
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(history: np.ndarray) -> np.ndarray:
+        history = np.asarray(history, dtype=np.float64)
+        if history.ndim != 3 or history.shape[1] != history.shape[2]:
+            raise ValueError(f"history must be (memory, n, n), got {history.shape}")
+        if history.shape[0] < 1:
+            raise ValueError("history must contain at least one matrix")
+        return history
+
+
+class LastValuePredictor(DemandPredictor):
+    """Forecast = the most recent demand matrix."""
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        history = self._check(history)
+        return history[-1].copy()
+
+
+class HistoryMeanPredictor(DemandPredictor):
+    """Forecast = elementwise mean of the observed window."""
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        history = self._check(history)
+        return history.mean(axis=0)
+
+
+class CyclicPredictor(DemandPredictor):
+    """Forecast = the matrix one period ago (perfect for period ≤ memory).
+
+    Parameters
+    ----------
+    cycle_length:
+        The workload period ``q``.  If the history window is shorter than
+        ``q`` the predictor degrades to :class:`LastValuePredictor`.
+    """
+
+    def __init__(self, cycle_length: int):
+        if cycle_length < 1:
+            raise ValueError("cycle_length must be >= 1")
+        self.cycle_length = int(cycle_length)
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        history = self._check(history)
+        if history.shape[0] >= self.cycle_length:
+            return history[-self.cycle_length].copy()
+        return history[-1].copy()
+
+
+def prediction_based_routing(
+    network: Network,
+    history: np.ndarray,
+    predictor: DemandPredictor,
+) -> DestinationRouting:
+    """Solve the MCF LP for the predictor's forecast and extract a routing.
+
+    The returned routing is total (every destination reachable) even where
+    the forecast carried no demand — those vertices fall back to ECMP, see
+    :func:`repro.routing.oblivious.lp_derived_routing`.
+
+    A forecast with no traffic at all (e.g. an all-zero history) degrades
+    to uniform all-pairs demand, i.e. the oblivious baseline.
+    """
+    forecast = predictor.predict(history)
+    if forecast.sum() <= 0.0:
+        n = network.num_nodes
+        forecast = np.ones((n, n)) - np.eye(n)
+    return lp_derived_routing(network, forecast)

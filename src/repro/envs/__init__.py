@@ -1,0 +1,32 @@
+"""The GDDR reinforcement-learning environments (paper §V, Figure 1).
+
+Each timestep: the agent observes the recent demand history, emits edge
+weights (one-shot) or a single edge's weight (iterative), the softmin
+translation turns weights into a routing, the simulator measures the
+achieved max link utilisation on the *new* demand matrix, the LP oracle
+supplies the optimum, and the reward is ``-U_agent / U_optimal``
+(Equation 2).
+
+* :class:`~repro.envs.routing_env.RoutingEnv` — one action per DM (the
+  whole weight vector), fixed topology;
+* :class:`~repro.envs.iterative_env.IterativeRoutingEnv` — one action per
+  edge (paper §VII-B); reward arrives when the last edge is set;
+* :class:`~repro.envs.multigraph.MultiGraphRoutingEnv` — samples a
+  topology per episode, for the generalisation experiments (Fig. 8).
+"""
+
+from repro.envs.observation import GraphObservation
+from repro.envs.reward import RewardComputer, weights_from_action, gamma_from_action
+from repro.envs.routing_env import RoutingEnv
+from repro.envs.iterative_env import IterativeRoutingEnv
+from repro.envs.multigraph import MultiGraphRoutingEnv
+
+__all__ = [
+    "GraphObservation",
+    "RewardComputer",
+    "weights_from_action",
+    "gamma_from_action",
+    "RoutingEnv",
+    "IterativeRoutingEnv",
+    "MultiGraphRoutingEnv",
+]

@@ -1,0 +1,156 @@
+"""The iterative routing environment (paper §VII-B).
+
+Setting a routing for one demand matrix takes ``num_edges`` environment
+steps: at sub-step ``j`` the observation's edge markers flag edge ``j`` as
+the *target* (Equation 6: per-edge ``(weight, set, target)``), and the
+agent's 2-dimensional action supplies the weight for that edge plus a γ
+candidate (Equation 7: global output ``(weight, γ)``; only the final
+sub-step's γ is used).  Once every edge is set, the routing is translated
+and evaluated exactly like the one-shot environment and the reward is
+delivered on that final sub-step (intermediate sub-steps reward 0).
+
+The fixed 2-dimensional action is what makes this environment — and the
+policy trained on it — topology-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.envs.observation import GraphObservation
+from repro.envs.reward import (
+    DEFAULT_GAMMA_RANGE,
+    DEFAULT_WEIGHT_SCALE,
+    RewardComputer,
+    gamma_from_action,
+    weights_from_action,
+)
+from repro.envs.routing_env import demand_normaliser
+from repro.graphs.network import Network
+from repro.rl.env import Env
+from repro.rl.spaces import Box
+from repro.traffic.sequences import DemandSequence
+from repro.utils.seeding import SeedLike, rng_from_seed
+
+
+class IterativeRoutingEnv(Env):
+    """One-edge-per-action routing environment (see module docstring).
+
+    Parameters mirror :class:`~repro.envs.routing_env.RoutingEnv`; the
+    action space is always ``Box(-inf, inf, (2,))`` regardless of topology.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        sequences: Sequence[DemandSequence],
+        memory_length: int = 5,
+        weight_scale: float = DEFAULT_WEIGHT_SCALE,
+        gamma_range: tuple[float, float] = DEFAULT_GAMMA_RANGE,
+        reward_computer: Optional[RewardComputer] = None,
+        sample_sequences: bool = True,
+        seed: SeedLike = None,
+    ):
+        if not sequences:
+            raise ValueError("need at least one demand sequence")
+        for seq in sequences:
+            if seq.num_nodes != network.num_nodes:
+                raise ValueError(
+                    f"sequence over {seq.num_nodes} nodes does not match network "
+                    f"({network.num_nodes})"
+                )
+            if len(seq) <= memory_length:
+                raise ValueError(
+                    f"sequence length {len(seq)} too short for memory {memory_length}"
+                )
+        self.network = network
+        self.sequences = list(sequences)
+        self.memory_length = int(memory_length)
+        self.weight_scale = float(weight_scale)
+        self.gamma_range = gamma_range
+        self.rewarder = reward_computer or RewardComputer()
+        self.sample_sequences = bool(sample_sequences)
+        self._rng = rng_from_seed(seed)
+        self._round_robin = 0
+        self.demand_scale = demand_normaliser(self.sequences)
+
+        self.action_space = Box(-np.inf, np.inf, (2,))
+        self.observation_space = None  # object observations (variable content)
+
+        self._sequence: Optional[DemandSequence] = None
+        self._step_index = 0
+        self._edge_pointer = 0
+        self._raw_weights = np.zeros(network.num_edges)
+        self._set_flags = np.zeros(network.num_edges)
+
+    # ------------------------------------------------------------------
+    def _select_sequence(self) -> DemandSequence:
+        if self.sample_sequences:
+            return self.sequences[int(self._rng.integers(0, len(self.sequences)))]
+        sequence = self.sequences[self._round_robin % len(self.sequences)]
+        self._round_robin += 1
+        return sequence
+
+    def _edge_state(self, target_edge: Optional[int]) -> np.ndarray:
+        state = np.zeros((self.network.num_edges, 3))
+        state[:, 0] = self._raw_weights
+        state[:, 1] = self._set_flags
+        if target_edge is not None and target_edge < self.network.num_edges:
+            state[target_edge, 2] = 1.0
+        return state
+
+    def _observation(self, target_edge: Optional[int]) -> GraphObservation:
+        step = min(self._step_index, len(self._sequence))
+        history = self._sequence.history(step - 1, self.memory_length)
+        return GraphObservation(
+            self.network,
+            history / self.demand_scale,
+            edge_state=self._edge_state(target_edge),
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self) -> GraphObservation:
+        self._sequence = self._select_sequence()
+        self._step_index = self.memory_length
+        self._edge_pointer = 0
+        self._raw_weights = np.zeros(self.network.num_edges)
+        self._set_flags = np.zeros(self.network.num_edges)
+        return self._observation(target_edge=0)
+
+    def step(self, action: np.ndarray) -> tuple[GraphObservation, float, bool, dict]:
+        if self._sequence is None:
+            raise RuntimeError("call reset() before step()")
+        action = np.asarray(action, dtype=np.float64).reshape(-1)
+        if action.shape != (2,):
+            raise ValueError(f"action has shape {action.shape}, expected (2,)")
+
+        edge = self._edge_pointer
+        self._raw_weights[edge] = float(np.clip(action[0], -1.0, 1.0))
+        self._set_flags[edge] = 1.0
+        self._edge_pointer += 1
+
+        if self._edge_pointer < self.network.num_edges:
+            return self._observation(target_edge=self._edge_pointer), 0.0, False, {}
+
+        # Final sub-step: translate, evaluate, advance to the next DM.
+        gamma = gamma_from_action(action[1], self.gamma_range)
+        weights = weights_from_action(self._raw_weights, self.weight_scale)
+        demand = self._sequence.matrix(self._step_index)
+        reward, info = self.rewarder.reward(self.network, weights, gamma, demand)
+        info["softmin_gamma"] = gamma
+
+        self._step_index += 1
+        done = self._step_index >= len(self._sequence)
+        self._edge_pointer = 0
+        self._raw_weights = np.zeros(self.network.num_edges)
+        self._set_flags = np.zeros(self.network.num_edges)
+        return self._observation(target_edge=0), reward, done, info
+
+    @property
+    def episode_length(self) -> int:
+        """Sub-steps per episode for the shortest configured sequence."""
+        return (min(len(seq) for seq in self.sequences) - self.memory_length) * (
+            self.network.num_edges
+        )

@@ -1,0 +1,152 @@
+"""The one-shot routing environment (paper §V, Figure 1).
+
+One episode walks one demand sequence.  At each timestep the agent sees
+the previous ``memory_length`` demand matrices (normalised) and emits a
+full edge-weight vector; softmin routing translates it; the reward is
+``-U_agent/U_opt`` measured on the *current* (unseen) demand matrix —
+the agent must exploit the temporal regularity of the cyclical sequences
+to do better than any static routing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.envs.observation import GraphObservation
+from repro.envs.reward import (
+    DEFAULT_WEIGHT_SCALE,
+    RewardComputer,
+    weights_from_action,
+)
+from repro.graphs.network import Network
+from repro.rl.env import Env
+from repro.rl.spaces import Box
+from repro.traffic.sequences import DemandSequence
+from repro.utils.seeding import SeedLike, rng_from_seed
+
+
+def demand_normaliser(sequences: Sequence[DemandSequence]) -> float:
+    """A scale making observations O(1): the mean positive demand entry."""
+    positives = [seq.demands[seq.demands > 0.0] for seq in sequences if len(seq)]
+    values = np.concatenate([p for p in positives if p.size] or [np.array([1.0])])
+    scale = float(values.mean())
+    return scale if scale > 0.0 else 1.0
+
+
+class RoutingEnv(Env):
+    """Fixed-topology data-driven routing environment.
+
+    Parameters
+    ----------
+    network:
+        The topology to route over.
+    sequences:
+        Demand sequences; each episode uses one (chosen uniformly at
+        random, or round-robin with ``sample_sequences=False``).
+    memory_length:
+        History window shown to the agent (5 in the paper).
+    softmin_gamma:
+        Fixed softmin spread for the translation (the one-shot policies do
+        not choose γ; the iterative environment does).
+    weight_scale:
+        Action-to-weight exponent, see
+        :func:`repro.envs.reward.weights_from_action`.
+    reward_computer:
+        Optionally share an LP cache across environments.
+    seed:
+        Sequence-selection randomness.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        sequences: Sequence[DemandSequence],
+        memory_length: int = 5,
+        softmin_gamma: float = 2.0,
+        weight_scale: float = DEFAULT_WEIGHT_SCALE,
+        reward_computer: Optional[RewardComputer] = None,
+        sample_sequences: bool = True,
+        seed: SeedLike = None,
+    ):
+        if not sequences:
+            raise ValueError("need at least one demand sequence")
+        for seq in sequences:
+            if seq.num_nodes != network.num_nodes:
+                raise ValueError(
+                    f"sequence over {seq.num_nodes} nodes does not match network "
+                    f"({network.num_nodes})"
+                )
+            if len(seq) <= memory_length:
+                raise ValueError(
+                    f"sequence length {len(seq)} too short for memory {memory_length}"
+                )
+        if softmin_gamma <= 0.0:
+            raise ValueError("softmin_gamma must be positive")
+        self.network = network
+        self.sequences = list(sequences)
+        self.memory_length = int(memory_length)
+        self.softmin_gamma = float(softmin_gamma)
+        self.weight_scale = float(weight_scale)
+        self.rewarder = reward_computer or RewardComputer()
+        self.sample_sequences = bool(sample_sequences)
+        self._rng = rng_from_seed(seed)
+        self._round_robin = 0
+        self.demand_scale = demand_normaliser(self.sequences)
+
+        m = network.num_edges
+        self.action_space = Box(-1.0, 1.0, (m,))
+        n = network.num_nodes
+        self.observation_space = Box(
+            0.0, np.inf, (self.memory_length * n * n,)
+        )
+
+        self._sequence: Optional[DemandSequence] = None
+        self._step_index = 0
+
+    # ------------------------------------------------------------------
+    def _select_sequence(self) -> DemandSequence:
+        if self.sample_sequences:
+            return self.sequences[int(self._rng.integers(0, len(self.sequences)))]
+        sequence = self.sequences[self._round_robin % len(self.sequences)]
+        self._round_robin += 1
+        return sequence
+
+    def _observation(self) -> GraphObservation:
+        history = self._sequence.history(self._step_index - 1, self.memory_length)
+        return GraphObservation(self.network, history / self.demand_scale)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> GraphObservation:
+        self._sequence = self._select_sequence()
+        self._step_index = self.memory_length
+        return self._observation()
+
+    def step(self, action: np.ndarray) -> tuple[GraphObservation, float, bool, dict]:
+        if self._sequence is None:
+            raise RuntimeError("call reset() before step()")
+        action = np.asarray(action, dtype=np.float64)
+        if action.shape != (self.network.num_edges,):
+            raise ValueError(
+                f"action has shape {action.shape}, expected ({self.network.num_edges},)"
+            )
+        weights = weights_from_action(action, self.weight_scale)
+        demand = self._sequence.matrix(self._step_index)
+        reward, info = self.rewarder.reward(
+            self.network, weights, self.softmin_gamma, demand
+        )
+        self._step_index += 1
+        done = self._step_index >= len(self._sequence)
+        observation = self._observation() if not done else self._terminal_observation()
+        return observation, reward, done, info
+
+    def _terminal_observation(self) -> GraphObservation:
+        """Observation emitted alongside ``done`` (content is irrelevant)."""
+        history = self._sequence.history(len(self._sequence) - 1, self.memory_length)
+        return GraphObservation(self.network, history / self.demand_scale)
+
+    @property
+    def episode_length(self) -> int:
+        """Steps per episode for the shortest configured sequence."""
+        return min(len(seq) for seq in self.sequences) - self.memory_length

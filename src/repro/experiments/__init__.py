@@ -1,0 +1,33 @@
+"""Experiment harness: one runner per figure in the paper's evaluation.
+
+* :mod:`~repro.experiments.fig6` — fixed-graph comparison (Abilene): MLP
+  vs GNN vs iterative GNN bar heights plus the shortest-path line;
+* :mod:`~repro.experiments.fig7` — learning curves for MLP and GNN;
+* :mod:`~repro.experiments.fig8` — generalisation: graph modifications vs
+  entirely different graphs;
+* :mod:`~repro.experiments.throughput` — the §VIII-C training-throughput
+  parity check;
+* :mod:`~repro.experiments.config` — scale presets (``quick`` for CI &
+  benchmarks, ``standard`` for meaningful shapes, ``paper`` for the full
+  500k-timestep schedule).
+
+Run from the command line::
+
+    python -m repro.experiments.runner fig6 --preset standard --seed 0
+"""
+
+from repro.experiments.config import ExperimentScale, PRESETS, get_preset
+from repro.experiments.evaluate import (
+    evaluate_policy,
+    evaluate_shortest_path,
+    EvaluationResult,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "PRESETS",
+    "get_preset",
+    "evaluate_policy",
+    "evaluate_shortest_path",
+    "EvaluationResult",
+]

@@ -1,0 +1,121 @@
+"""Policy evaluation: the measurement behind every figure's bars.
+
+The paper's headline metric is the mean, over the demand matrices of
+held-out test sequences, of the ratio between the achieved max link
+utilisation and the LP optimum for that matrix (Figures 6 and 8 bar
+heights; 1.0 is the optimum, lower is better).  Shortest-path routing
+evaluated the same way gives the dotted baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.envs.iterative_env import IterativeRoutingEnv
+from repro.envs.reward import RewardComputer
+from repro.envs.routing_env import RoutingEnv
+from repro.graphs.network import Network
+from repro.routing.shortest_path import shortest_path_routing
+from repro.traffic.sequences import DemandSequence
+from repro.utils.seeding import SeedLike, rng_from_seed
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Utilisation ratios collected over an evaluation pass."""
+
+    ratios: tuple
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.ratios))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.ratios))
+
+    @property
+    def count(self) -> int:
+        return len(self.ratios)
+
+    def __repr__(self) -> str:
+        return f"EvaluationResult(mean={self.mean:.4f}, std={self.std:.4f}, n={self.count})"
+
+
+def evaluate_policy(
+    policy,
+    network: Network,
+    sequences: Sequence[DemandSequence],
+    memory_length: int = 5,
+    softmin_gamma: float = 2.0,
+    weight_scale: float = 3.0,
+    iterative: bool = False,
+    reward_computer: Optional[RewardComputer] = None,
+    seed: SeedLike = 0,
+) -> EvaluationResult:
+    """Deterministically roll the policy over every sequence once.
+
+    Builds a round-robin environment matching the training configuration,
+    runs ``len(sequences)`` episodes with deterministic (mean) actions and
+    collects the per-DM utilisation ratios from the environment's info
+    dicts.
+    """
+    rewarder = reward_computer or RewardComputer()
+    if iterative:
+        env = IterativeRoutingEnv(
+            network,
+            sequences,
+            memory_length=memory_length,
+            weight_scale=weight_scale,
+            reward_computer=rewarder,
+            sample_sequences=False,
+            seed=seed,
+        )
+    else:
+        env = RoutingEnv(
+            network,
+            sequences,
+            memory_length=memory_length,
+            softmin_gamma=softmin_gamma,
+            weight_scale=weight_scale,
+            reward_computer=rewarder,
+            sample_sequences=False,
+            seed=seed,
+        )
+    rng = rng_from_seed(seed)
+    ratios: list[float] = []
+    for _ in range(len(sequences)):
+        observation = env.reset()
+        done = False
+        while not done:
+            action, _, _ = policy.act(observation, rng, deterministic=True)
+            observation, _, done, info = env.step(action)
+            if "utilisation_ratio" in info:
+                ratios.append(info["utilisation_ratio"])
+    return EvaluationResult(tuple(ratios))
+
+
+def evaluate_shortest_path(
+    network: Network,
+    sequences: Sequence[DemandSequence],
+    memory_length: int = 5,
+    reward_computer: Optional[RewardComputer] = None,
+) -> EvaluationResult:
+    """The classical baseline, measured over the same DMs as the policies.
+
+    Uses unit-weight single-path shortest-path routing (plain OSPF-style
+    forwarding), evaluated on each sequence's post-warmup DMs — the same
+    matrices a policy episode is scored on.
+    """
+    rewarder = reward_computer or RewardComputer()
+    routing = shortest_path_routing(network)
+    ratios: list[float] = []
+    for sequence in sequences:
+        for step in range(memory_length, len(sequence)):
+            ratios.append(
+                rewarder.utilisation_ratio(network, routing, sequence.matrix(step))
+            )
+    return EvaluationResult(tuple(ratios))

@@ -1,0 +1,168 @@
+"""Figure 6: learning to route on a fixed graph.
+
+Trains the MLP baseline, the one-shot GNN policy and the iterative GNN
+policy on Abilene over cyclical bimodal demand sequences (7 train / 3
+test in the paper), then reports each policy's mean max-utilisation ratio
+on the held-out test sequences next to the shortest-path baseline.
+
+Paper's shape: all three learned policies beat shortest-path (~1.3);
+the GNN policies edge out the MLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.envs.iterative_env import IterativeRoutingEnv
+from repro.envs.reward import RewardComputer
+from repro.envs.routing_env import RoutingEnv
+from repro.experiments.config import ExperimentScale, get_preset
+from repro.experiments.evaluate import (
+    EvaluationResult,
+    evaluate_policy,
+    evaluate_shortest_path,
+)
+from repro.graphs.zoo import abilene
+from repro.policies.gnn import GNNPolicy
+from repro.policies.iterative import IterativeGNNPolicy
+from repro.policies.mlp import MLPPolicy
+from repro.rl.ppo import PPO, PPOConfig
+from repro.traffic.sequences import train_test_sequences
+from repro.utils.logging import RunLogger
+from repro.utils.seeding import SeedLike
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Mean utilisation ratios per policy plus the shortest-path line."""
+
+    mlp: EvaluationResult
+    gnn: EvaluationResult
+    gnn_iterative: EvaluationResult
+    shortest_path: EvaluationResult
+
+    def rows(self) -> list[tuple[str, float]]:
+        """The figure's series: (label, mean max-utilisation ratio)."""
+        return [
+            ("MLP", self.mlp.mean),
+            ("GNN", self.gnn.mean),
+            ("GNN Iterative", self.gnn_iterative.mean),
+            ("Shortest path (dotted line)", self.shortest_path.mean),
+        ]
+
+
+def _ppo_config(scale: ExperimentScale, agent: str = "gnn") -> PPOConfig:
+    """Per-agent PPO settings (tuned separately, as in the paper's §VIII-C)."""
+    if agent == "mlp":
+        return PPOConfig(
+            n_steps=scale.n_steps,
+            batch_size=scale.batch_size,
+            n_epochs=scale.n_epochs,
+            learning_rate=scale.mlp_learning_rate,
+            linear_lr_decay=scale.mlp_linear_lr_decay,
+        )
+    return PPOConfig(
+        n_steps=scale.n_steps,
+        batch_size=scale.batch_size,
+        n_epochs=scale.n_epochs,
+        learning_rate=scale.learning_rate,
+    )
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    echo: bool = False,
+) -> Fig6Result:
+    """Run the full Figure 6 experiment and return its series."""
+    scale = scale or get_preset("quick")
+    network = abilene()
+    train_seqs, test_seqs = train_test_sequences(
+        network.num_nodes,
+        num_train=scale.num_train_sequences,
+        num_test=scale.num_test_sequences,
+        length=scale.sequence_length,
+        cycle_length=scale.cycle_length,
+        seed=seed,
+    )
+    rewarder = RewardComputer()
+
+    def train_one_shot(policy, policy_seed: int, agent: str):
+        env = RoutingEnv(
+            network,
+            train_seqs,
+            memory_length=scale.memory_length,
+            softmin_gamma=scale.softmin_gamma,
+            weight_scale=scale.weight_scale,
+            reward_computer=rewarder,
+            seed=policy_seed,
+        )
+        PPO(
+            policy, env, _ppo_config(scale, agent), seed=policy_seed, logger=RunLogger(echo=echo)
+        ).learn(scale.total_timesteps)
+
+    mlp = MLPPolicy(
+        network.num_nodes,
+        network.num_edges,
+        memory_length=scale.memory_length,
+        hidden=scale.mlp_hidden,
+        seed=seed,
+        initial_log_std=scale.mlp_initial_log_std,
+    )
+    train_one_shot(mlp, seed + 1, "mlp")
+
+    gnn = GNNPolicy(
+        memory_length=scale.memory_length,
+        latent=scale.latent,
+        hidden=scale.hidden,
+        num_processing_steps=scale.num_processing_steps,
+        seed=seed,
+        initial_log_std=scale.gnn_initial_log_std,
+    )
+    train_one_shot(gnn, seed + 2, "gnn")
+
+    iterative = IterativeGNNPolicy(
+        memory_length=scale.memory_length,
+        latent=scale.latent,
+        hidden=scale.hidden,
+        num_processing_steps=scale.num_processing_steps,
+        seed=seed,
+        initial_log_std=scale.gnn_initial_log_std,
+    )
+    iterative_env = IterativeRoutingEnv(
+        network,
+        train_seqs,
+        memory_length=scale.memory_length,
+        weight_scale=scale.weight_scale,
+        reward_computer=rewarder,
+        seed=seed + 3,
+    )
+    PPO(
+        iterative,
+        iterative_env,
+        _ppo_config(scale, "gnn"),
+        seed=seed + 3,
+        logger=RunLogger(echo=echo),
+    ).learn(scale.total_timesteps)
+
+    common = dict(
+        network=network,
+        sequences=test_seqs,
+        memory_length=scale.memory_length,
+        reward_computer=rewarder,
+    )
+    return Fig6Result(
+        mlp=evaluate_policy(
+            mlp, softmin_gamma=scale.softmin_gamma, weight_scale=scale.weight_scale, **common
+        ),
+        gnn=evaluate_policy(
+            gnn, softmin_gamma=scale.softmin_gamma, weight_scale=scale.weight_scale, **common
+        ),
+        gnn_iterative=evaluate_policy(
+            iterative, iterative=True, weight_scale=scale.weight_scale, **common
+        ),
+        shortest_path=evaluate_shortest_path(
+            network, test_seqs, memory_length=scale.memory_length, reward_computer=rewarder
+        ),
+    )

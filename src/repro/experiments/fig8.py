@@ -1,0 +1,219 @@
+"""Figure 8: generalising to unseen graphs.
+
+Two settings, each training the one-shot GNN and the iterative GNN on a
+*mixture* of topologies and testing on held-out topologies (the MLP cannot
+be applied here — its input/output sizes are fixed):
+
+* **Graph Modifications** — train on Abilene plus random ±1–2 node/edge
+  modifications of it; test on *fresh* modifications.
+* **Different Graphs** — train and test on disjoint pools of random
+  topologies between half and double Abilene's size.
+
+Paper's shape: both policies stay near or below the shortest-path line;
+the iterative policy generalises better; the "different graphs" bars are
+much higher than the "modifications" bars because softmin's
+approximations bite harder on some structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.envs.multigraph import MultiGraphRoutingEnv
+from repro.envs.reward import RewardComputer
+from repro.experiments.config import ExperimentScale, get_preset
+from repro.experiments.evaluate import (
+    EvaluationResult,
+    evaluate_policy,
+    evaluate_shortest_path,
+)
+from repro.graphs.generators import different_graphs_pool
+from repro.graphs.modifications import random_modification
+from repro.graphs.network import Network
+from repro.graphs.zoo import abilene
+from repro.policies.gnn import GNNPolicy
+from repro.policies.iterative import IterativeGNNPolicy
+from repro.rl.ppo import PPO, PPOConfig
+from repro.traffic.sequences import train_test_sequences
+from repro.utils.logging import RunLogger
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GeneralisationSetting:
+    """One bar group: results for both policies plus the baseline."""
+
+    label: str
+    gnn: EvaluationResult
+    gnn_iterative: EvaluationResult
+    shortest_path: EvaluationResult
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Both Figure 8 settings."""
+
+    modifications: GeneralisationSetting
+    different_graphs: GeneralisationSetting
+
+    def rows(self) -> list[tuple[str, str, float]]:
+        """(setting, policy, mean ratio) rows matching the paper's bars."""
+        rows = []
+        for setting in (self.modifications, self.different_graphs):
+            rows.append((setting.label, "GNN", setting.gnn.mean))
+            rows.append((setting.label, "GNN Iterative", setting.gnn_iterative.mean))
+            rows.append((setting.label, "Shortest path", setting.shortest_path.mean))
+        return rows
+
+
+def _sequences_for(network: Network, scale: ExperimentScale, seed: int, train: bool):
+    train_seqs, test_seqs = train_test_sequences(
+        network.num_nodes,
+        num_train=scale.num_train_sequences,
+        num_test=scale.num_test_sequences,
+        length=scale.sequence_length,
+        cycle_length=scale.cycle_length,
+        seed=seed,
+    )
+    return train_seqs if train else test_seqs
+
+
+def _train_pair(
+    train_graphs: Sequence[Network],
+    scale: ExperimentScale,
+    seed: int,
+    rewarder: RewardComputer,
+    echo: bool,
+) -> tuple[GNNPolicy, IterativeGNNPolicy]:
+    """Train one-shot and iterative GNN policies on a topology mixture."""
+    config = PPOConfig(
+        n_steps=scale.n_steps,
+        batch_size=scale.batch_size,
+        n_epochs=scale.n_epochs,
+        learning_rate=scale.learning_rate,
+    )
+
+    pairs = [
+        (g, _sequences_for(g, scale, seed + 100 + i, train=True))
+        for i, g in enumerate(train_graphs)
+    ]
+
+    gnn = GNNPolicy(
+        memory_length=scale.memory_length,
+        latent=scale.latent,
+        hidden=scale.hidden,
+        num_processing_steps=scale.num_processing_steps,
+        seed=seed,
+        initial_log_std=scale.gnn_initial_log_std,
+    )
+    env = MultiGraphRoutingEnv(
+        pairs,
+        iterative=False,
+        memory_length=scale.memory_length,
+        softmin_gamma=scale.softmin_gamma,
+        weight_scale=scale.weight_scale,
+        reward_computer=rewarder,
+        seed=seed + 1,
+    )
+    PPO(gnn, env, config, seed=seed + 1, logger=RunLogger(echo=echo)).learn(scale.total_timesteps)
+
+    iterative = IterativeGNNPolicy(
+        memory_length=scale.memory_length,
+        latent=scale.latent,
+        hidden=scale.hidden,
+        num_processing_steps=scale.num_processing_steps,
+        seed=seed,
+        initial_log_std=scale.gnn_initial_log_std,
+    )
+    iterative_env = MultiGraphRoutingEnv(
+        pairs,
+        iterative=True,
+        memory_length=scale.memory_length,
+        weight_scale=scale.weight_scale,
+        reward_computer=rewarder,
+        seed=seed + 2,
+    )
+    PPO(iterative, iterative_env, config, seed=seed + 2, logger=RunLogger(echo=echo)).learn(
+        scale.total_timesteps
+    )
+    return gnn, iterative
+
+
+def _evaluate_setting(
+    label: str,
+    gnn: GNNPolicy,
+    iterative: IterativeGNNPolicy,
+    test_graphs: Sequence[Network],
+    scale: ExperimentScale,
+    seed: int,
+    rewarder: RewardComputer,
+) -> GeneralisationSetting:
+    """Mean ratios over every test graph's held-out sequences."""
+    gnn_ratios: list[float] = []
+    iter_ratios: list[float] = []
+    sp_ratios: list[float] = []
+    for i, network in enumerate(test_graphs):
+        sequences = _sequences_for(network, scale, seed + 200 + i, train=False)
+        common = dict(
+            network=network,
+            sequences=sequences,
+            memory_length=scale.memory_length,
+            weight_scale=scale.weight_scale,
+            reward_computer=rewarder,
+        )
+        gnn_ratios.extend(
+            evaluate_policy(gnn, softmin_gamma=scale.softmin_gamma, **common).ratios
+        )
+        iter_ratios.extend(evaluate_policy(iterative, iterative=True, **common).ratios)
+        sp_ratios.extend(
+            evaluate_shortest_path(
+                network, sequences, memory_length=scale.memory_length, reward_computer=rewarder
+            ).ratios
+        )
+    return GeneralisationSetting(
+        label=label,
+        gnn=EvaluationResult(tuple(gnn_ratios)),
+        gnn_iterative=EvaluationResult(tuple(iter_ratios)),
+        shortest_path=EvaluationResult(tuple(sp_ratios)),
+    )
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    echo: bool = False,
+) -> Fig8Result:
+    """Run both Figure 8 settings and return their bar heights."""
+    scale = scale or get_preset("quick")
+    base = abilene()
+    rewarder = RewardComputer()
+
+    # Setting 1: Abilene with small random modifications.
+    train_mods = [base] + [
+        random_modification(base, seed=seed + 10 + i)
+        for i in range(max(1, scale.num_train_graphs - 1))
+    ]
+    test_mods = [
+        random_modification(base, seed=seed + 900 + i) for i in range(scale.num_test_graphs)
+    ]
+    gnn_m, iter_m = _train_pair(train_mods, scale, seed + 1000, rewarder, echo)
+    modifications = _evaluate_setting(
+        "Graph Modifications", gnn_m, iter_m, test_mods, scale, seed + 1000, rewarder
+    )
+
+    # Setting 2: entirely different random graphs (0.5x-2x Abilene size).
+    pool = different_graphs_pool(
+        base.num_nodes,
+        scale.num_train_graphs + scale.num_test_graphs,
+        seed=seed + 2000,
+    )
+    train_pool = pool[: scale.num_train_graphs]
+    test_pool = pool[scale.num_train_graphs :]
+    gnn_d, iter_d = _train_pair(train_pool, scale, seed + 3000, rewarder, echo)
+    different = _evaluate_setting(
+        "Different Graphs", gnn_d, iter_d, test_pool, scale, seed + 3000, rewarder
+    )
+
+    return Fig8Result(modifications=modifications, different_graphs=different)

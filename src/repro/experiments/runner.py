@@ -1,0 +1,76 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner fig6 --preset standard --seed 0
+    python -m repro.experiments.runner fig7 --preset quick
+    python -m repro.experiments.runner fig8 --preset standard
+    python -m repro.experiments.runner throughput
+    python -m repro.experiments.runner all --preset quick
+
+``--timesteps`` overrides the preset's training volume, so the paper
+schedule is ``--preset paper`` (or any preset with ``--timesteps 500000``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.experiments import fig6, fig7, fig8, throughput
+from repro.experiments.config import PRESETS, get_preset
+from repro.experiments.reporting import (
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_throughput,
+)
+
+EXPERIMENTS = ("fig6", "fig7", "fig8", "throughput", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Reproduce the GDDR evaluation figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=sorted(PRESETS),
+        help="scale preset (quick/standard/paper)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--timesteps", type=int, default=None, help="override the preset's training volume"
+    )
+    parser.add_argument(
+        "--echo", action="store_true", help="print per-update training diagnostics"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = get_preset(args.preset)
+    if args.timesteps is not None:
+        scale = replace(scale, total_timesteps=args.timesteps)
+
+    chosen = EXPERIMENTS[:-1] if args.experiment == "all" else (args.experiment,)
+    for name in chosen:
+        if name == "fig6":
+            print(format_fig6(fig6.run(scale, seed=args.seed, echo=args.echo)))
+        elif name == "fig7":
+            print(format_fig7(fig7.run(scale, seed=args.seed, echo=args.echo)))
+        elif name == "fig8":
+            print(format_fig8(fig8.run(scale, seed=args.seed, echo=args.echo)))
+        elif name == "throughput":
+            print(format_throughput(throughput.run(scale, seed=args.seed)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

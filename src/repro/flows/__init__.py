@@ -1,0 +1,36 @@
+"""Flow-level machinery: optimal routing LP and the link-load simulator.
+
+Two responsibilities, mirroring the environment dataflow in the paper's
+Figure 1:
+
+* :mod:`~repro.flows.lp` — the linear-programming oracle that computes the
+  *optimal* maximum link utilisation for a demand matrix (the paper solved
+  this with Google OR-Tools; we use scipy's HiGHS).  The reward denominator.
+* :mod:`~repro.flows.simulator` — propagates a concrete routing strategy's
+  splitting ratios to per-link loads and the achieved maximum utilisation.
+  The reward numerator.
+"""
+
+from repro.flows.lp import (
+    OptimalRouting,
+    solve_mcf_per_pair,
+    solve_optimal_average_utilisation,
+    solve_optimal_max_utilisation,
+)
+from repro.flows.simulator import (
+    average_link_utilisation,
+    link_loads,
+    max_link_utilisation,
+    utilisation_ratio,
+)
+
+__all__ = [
+    "OptimalRouting",
+    "solve_optimal_max_utilisation",
+    "solve_optimal_average_utilisation",
+    "solve_mcf_per_pair",
+    "link_loads",
+    "max_link_utilisation",
+    "average_link_utilisation",
+    "utilisation_ratio",
+]

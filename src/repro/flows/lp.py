@@ -1,0 +1,332 @@
+"""Optimal multicommodity-flow routing via linear programming.
+
+The paper's environment computes the reward denominator by solving the
+splittable multicommodity-flow (MCF) problem that minimises the maximum link
+utilisation ``U_max`` (paper §II-A, Equation 1), using Google OR-Tools.  We
+solve the identical LP with :func:`scipy.optimize.linprog` (HiGHS).
+
+Two formulations are provided:
+
+* :func:`solve_optimal_max_utilisation` — **destination-aggregated**: one
+  commodity per destination node, variables ``f_t(e)`` (flow destined to
+  ``t`` on edge ``e``).  O(|V|·|E|) variables.  For splittable flow this has
+  the same optimum as the per-pair formulation (flows to the same
+  destination can always be merged without increasing any link load).
+* :func:`solve_mcf_per_pair` — the textbook per-(source, destination)
+  commodity formulation from paper §II-A, kept as a cross-check oracle for
+  tests and ablations.  O(|V|²·|E|) variables.
+
+Both return an :class:`OptimalRouting` carrying ``max_utilisation`` and the
+raw edge flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.graphs.network import Network
+from repro.utils.validation import check_square_matrix
+
+
+@dataclass(frozen=True)
+class OptimalRouting:
+    """Result of an optimal-routing LP solve.
+
+    Attributes
+    ----------
+    max_utilisation:
+        The optimal ``U_max``: the smallest achievable maximum link
+        utilisation for the demand matrix.  0.0 for an all-zero demand.
+    edge_flows:
+        Total flow per edge under the optimal solution, aligned with
+        ``network.edges``.
+    commodity_flows:
+        Per-commodity edge flows; shape ``(num_commodities, num_edges)``.
+        Commodity meaning depends on the formulation (per destination or
+        per pair).
+    """
+
+    max_utilisation: float
+    edge_flows: np.ndarray
+    commodity_flows: np.ndarray
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the demand matrix carried no traffic."""
+        return self.max_utilisation == 0.0
+
+
+class InfeasibleRoutingError(RuntimeError):
+    """Raised when the LP cannot be solved (e.g. disconnected demand pair)."""
+
+
+def _validate_inputs(network: Network, demand_matrix: np.ndarray) -> np.ndarray:
+    demand = check_square_matrix("demand_matrix", demand_matrix)
+    if demand.shape[0] != network.num_nodes:
+        raise ValueError(
+            f"demand matrix is {demand.shape[0]}x{demand.shape[0]} but network has "
+            f"{network.num_nodes} nodes"
+        )
+    if np.any(demand < 0.0):
+        raise ValueError("demands must be non-negative")
+    if np.any(np.diag(demand) != 0.0):
+        raise ValueError("demand matrix diagonal must be zero")
+    return demand
+
+
+def solve_optimal_max_utilisation(
+    network: Network, demand_matrix: np.ndarray
+) -> OptimalRouting:
+    """Minimise the maximum link utilisation for ``demand_matrix``.
+
+    Destination-aggregated formulation.  Variables are ``f_t(e) >= 0`` for
+    every destination ``t`` with incoming demand and every edge ``e``, plus
+    the scalar ``U``:
+
+    * minimise ``U``
+    * flow conservation: for every such ``t`` and node ``v != t``,
+      ``sum_out f_t - sum_in f_t = D[v, t]``
+    * capacity: for every edge, ``sum_t f_t(e) <= U * c(e)``.
+
+    Raises
+    ------
+    InfeasibleRoutingError
+        If some demand's source cannot reach its destination.
+    """
+    demand = _validate_inputs(network, demand_matrix)
+    n, m = network.num_nodes, network.num_edges
+
+    destinations = [t for t in range(n) if demand[:, t].sum() > 0.0]
+    if not destinations:
+        return OptimalRouting(0.0, np.zeros(m), np.zeros((0, m)))
+
+    k = len(destinations)
+    num_vars = k * m + 1  # f_t(e) blocks then U last
+    u_index = k * m
+
+    # Node-edge incidence: incidence[v, e] = +1 if e leaves v, -1 if it enters v.
+    incidence = sparse.lil_matrix((n, m))
+    for e, (u, v) in enumerate(network.edges):
+        incidence[u, e] = 1.0
+        incidence[v, e] = -1.0
+    incidence = incidence.tocsr()
+
+    eq_rows, eq_rhs = [], []
+    for ci, t in enumerate(destinations):
+        keep = np.array([v for v in range(n) if v != t])
+        block = incidence[keep]
+        # Place block at this commodity's column offset.
+        padded = sparse.hstack(
+            [
+                sparse.csr_matrix((n - 1, ci * m)),
+                block,
+                sparse.csr_matrix((n - 1, (k - ci - 1) * m + 1)),
+            ]
+        )
+        eq_rows.append(padded)
+        eq_rhs.append(demand[keep, t])
+    a_eq = sparse.vstack(eq_rows).tocsr()
+    b_eq = np.concatenate(eq_rhs)
+
+    # Capacity rows: sum_t f_t(e) - c(e) * U <= 0.
+    ub = sparse.lil_matrix((m, num_vars))
+    for e in range(m):
+        for ci in range(k):
+            ub[e, ci * m + e] = 1.0
+        ub[e, u_index] = -float(network.capacities[e])
+    a_ub = ub.tocsr()
+    b_ub = np.zeros(m)
+
+    cost = np.zeros(num_vars)
+    cost[u_index] = 1.0
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=(0, None),
+        method="highs",
+    )
+    if not result.success:
+        raise InfeasibleRoutingError(
+            f"optimal-routing LP failed on {network!r}: {result.message}"
+        )
+
+    solution = result.x
+    commodity_flows = solution[: k * m].reshape(k, m)
+    edge_flows = commodity_flows.sum(axis=0)
+    return OptimalRouting(float(solution[u_index]), edge_flows, commodity_flows)
+
+
+def solve_mcf_per_pair(
+    network: Network, demand_matrix: np.ndarray
+) -> OptimalRouting:
+    """Textbook per-(s, t) commodity MCF (paper §II-A) — the test oracle.
+
+    One commodity per non-zero demand entry; variables are the *fractions*
+    ``f_i(e)`` of commodity ``i`` on edge ``e``, exactly as in the paper's
+    constraint list, so capacity rows read
+    ``sum_i f_i(e) * d_i <= U * c(e)``.
+    """
+    demand = _validate_inputs(network, demand_matrix)
+    n, m = network.num_nodes, network.num_edges
+
+    commodities = [
+        (s, t, demand[s, t]) for s in range(n) for t in range(n) if demand[s, t] > 0.0
+    ]
+    if not commodities:
+        return OptimalRouting(0.0, np.zeros(m), np.zeros((0, m)))
+
+    k = len(commodities)
+    num_vars = k * m + 1
+    u_index = k * m
+
+    incidence = sparse.lil_matrix((n, m))
+    for e, (u, v) in enumerate(network.edges):
+        incidence[u, e] = 1.0
+        incidence[v, e] = -1.0
+    incidence = incidence.tocsr()
+
+    eq_rows, eq_rhs = [], []
+    for ci, (s, t, _) in enumerate(commodities):
+        keep = np.array([v for v in range(n) if v != t])
+        block = incidence[keep]
+        padded = sparse.hstack(
+            [
+                sparse.csr_matrix((n - 1, ci * m)),
+                block,
+                sparse.csr_matrix((n - 1, (k - ci - 1) * m + 1)),
+            ]
+        )
+        eq_rows.append(padded)
+        # Net outflow (in fraction units) is 1 at the source, 0 elsewhere.
+        rhs = np.array([1.0 if v == s else 0.0 for v in keep])
+        eq_rhs.append(rhs)
+    a_eq = sparse.vstack(eq_rows).tocsr()
+    b_eq = np.concatenate(eq_rhs)
+
+    ub = sparse.lil_matrix((m, num_vars))
+    for e in range(m):
+        for ci, (_, _, d) in enumerate(commodities):
+            ub[e, ci * m + e] = d
+        ub[e, u_index] = -float(network.capacities[e])
+    a_ub = ub.tocsr()
+    b_ub = np.zeros(m)
+
+    cost = np.zeros(num_vars)
+    cost[u_index] = 1.0
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=(0, None),
+        method="highs",
+    )
+    if not result.success:
+        raise InfeasibleRoutingError(
+            f"per-pair MCF LP failed on {network!r}: {result.message}"
+        )
+
+    solution = result.x
+    fractions = solution[: k * m].reshape(k, m)
+    demands = np.array([d for _, _, d in commodities])
+    commodity_flows = fractions * demands[:, None]
+    edge_flows = commodity_flows.sum(axis=0)
+    return OptimalRouting(float(solution[u_index]), edge_flows, commodity_flows)
+
+
+def solve_optimal_average_utilisation(
+    network: Network, demand_matrix: np.ndarray
+) -> OptimalRouting:
+    """Minimise the *average* link utilisation (paper §IX-A further work).
+
+    Same constraint structure as :func:`solve_optimal_max_utilisation` but
+    the objective is ``(1/|E|) Σ_e flow_e / c_e`` — total capacity-weighted
+    traffic volume — instead of the bottleneck.  The optimum concentrates
+    flow on short paths (it is achieved by weighted shortest paths), which
+    makes it a useful contrast objective for the routing ablations.
+
+    The returned :attr:`OptimalRouting.max_utilisation` field carries the
+    optimal *average* utilisation for this solver.
+    """
+    demand = _validate_inputs(network, demand_matrix)
+    n, m = network.num_nodes, network.num_edges
+
+    destinations = [t for t in range(n) if demand[:, t].sum() > 0.0]
+    if not destinations:
+        return OptimalRouting(0.0, np.zeros(m), np.zeros((0, m)))
+
+    k = len(destinations)
+    num_vars = k * m  # no U variable: the objective is linear in flows
+
+    incidence = sparse.lil_matrix((n, m))
+    for e, (u, v) in enumerate(network.edges):
+        incidence[u, e] = 1.0
+        incidence[v, e] = -1.0
+    incidence = incidence.tocsr()
+
+    eq_rows, eq_rhs = [], []
+    for ci, t in enumerate(destinations):
+        keep = np.array([v for v in range(n) if v != t])
+        block = incidence[keep]
+        padded = sparse.hstack(
+            [
+                sparse.csr_matrix((n - 1, ci * m)),
+                block,
+                sparse.csr_matrix((n - 1, (k - ci - 1) * m)),
+            ]
+        )
+        eq_rows.append(padded)
+        eq_rhs.append(demand[keep, t])
+    a_eq = sparse.vstack(eq_rows).tocsr()
+    b_eq = np.concatenate(eq_rhs)
+
+    # Objective: sum over commodities and edges of flow / (|E| * capacity).
+    cost = np.tile(1.0 / (m * network.capacities), k)
+
+    result = linprog(cost, A_eq=a_eq, b_eq=b_eq, bounds=(0, None), method="highs")
+    if not result.success:
+        raise InfeasibleRoutingError(
+            f"average-utilisation LP failed on {network!r}: {result.message}"
+        )
+
+    commodity_flows = result.x.reshape(k, m)
+    edge_flows = commodity_flows.sum(axis=0)
+    return OptimalRouting(float(result.fun), edge_flows, commodity_flows)
+
+
+class OptimalUtilisationCache:
+    """Memoises LP solves per (network, demand-matrix) pair.
+
+    The RL environment revisits the same cyclical DMs thousands of times per
+    training run; caching the LP result makes the reward computation cheap
+    after the first episode (the paper notes the LP step makes training
+    CPU-bound — this cache is the practical mitigation).
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._store: dict[tuple, float] = {}
+
+    def optimal_max_utilisation(self, network: Network, demand_matrix: np.ndarray) -> float:
+        key = (hash(network), np.asarray(demand_matrix).tobytes())
+        if key not in self._store:
+            if len(self._store) >= self.max_entries:
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = solve_optimal_max_utilisation(network, demand_matrix).max_utilisation
+        return self._store[key]
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,151 @@
+"""Propagating a routing strategy's splitting ratios to link loads.
+
+This is the measurement half of the environment (paper Fig. 1): given the
+network, a routing strategy and a demand matrix, compute each link's load
+and the resulting maximum link utilisation ``U_max``.
+
+For each commodity the node *throughflow* ``x`` satisfies the balance
+equation ``x = b + Pᵀ x`` where ``b`` is the injection vector and
+``P[u, v]`` the fraction of flow at ``u`` forwarded to ``v`` (zero out of
+the destination, which absorbs).  We solve the linear system directly, so
+routings **with** loops are also simulated faithfully — recirculating
+traffic consumes capacity on every lap, exactly the wasted-capacity effect
+the paper's DAG conversion exists to avoid (§VI).  A routing whose loops
+trap flow forever (no leakage to the destination) has a singular system and
+raises :class:`RoutingLoopError`.
+
+Destination-based routings are simulated with one solve per destination
+(all sources aggregated); per-flow routings take one solve per nonzero
+demand entry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.network import Network
+from repro.routing.strategy import DestinationRouting, RoutingStrategy
+from repro.utils.validation import check_square_matrix
+
+_NEGATIVE_FLOW_TOLERANCE = 1e-8
+
+
+class RoutingLoopError(RuntimeError):
+    """The routing recirculates flow forever (a zero-leak loop)."""
+
+
+def _forwarding_matrix(network: Network, ratios: np.ndarray, target: int) -> np.ndarray:
+    """Dense ``P`` with ``P[u, v] = Σ ratios of edges u→v``; row ``target`` zero."""
+    p = np.zeros((network.num_nodes, network.num_nodes))
+    for edge_id, (u, v) in enumerate(network.edges):
+        if ratios[edge_id] != 0.0:
+            p[u, v] += ratios[edge_id]
+    p[target, :] = 0.0
+    return p
+
+
+def _solve_throughflow(
+    network: Network, ratios: np.ndarray, injections: np.ndarray, target: int
+) -> np.ndarray:
+    """Solve ``(I - Pᵀ) x = b`` for the node throughflow ``x``."""
+    p = _forwarding_matrix(network, ratios, target)
+    system = np.eye(network.num_nodes) - p.T
+    try:
+        x = np.linalg.solve(system, injections)
+    except np.linalg.LinAlgError as error:
+        raise RoutingLoopError(
+            f"routing to destination {target} traps flow in a loop: {error}"
+        ) from None
+    if np.any(x < -_NEGATIVE_FLOW_TOLERANCE * max(1.0, float(np.abs(injections).sum()))):
+        raise RoutingLoopError(
+            f"routing to destination {target} yields negative throughflow; "
+            "the splitting ratios are inconsistent"
+        )
+    return np.maximum(x, 0.0)
+
+
+def link_loads(
+    network: Network,
+    routing: RoutingStrategy,
+    demand_matrix: np.ndarray,
+) -> np.ndarray:
+    """Total flow per edge when ``routing`` carries ``demand_matrix``.
+
+    Returns an array aligned with ``network.edges``.
+    """
+    demand = check_square_matrix("demand_matrix", demand_matrix)
+    if demand.shape[0] != network.num_nodes:
+        raise ValueError(
+            f"demand matrix size {demand.shape[0]} does not match network "
+            f"({network.num_nodes} nodes)"
+        )
+    loads = np.zeros(network.num_edges)
+    senders = network.senders
+
+    if isinstance(routing, DestinationRouting) or routing.destination_based:
+        for t in range(network.num_nodes):
+            injections = demand[:, t].copy()
+            injections[t] = 0.0
+            if injections.sum() <= 0.0:
+                continue
+            ratios = routing.ratios(int(np.argmax(injections)), t)
+            x = _solve_throughflow(network, ratios, injections, t)
+            loads += x[senders] * ratios
+    else:
+        for s in range(network.num_nodes):
+            for t in range(network.num_nodes):
+                d = demand[s, t]
+                if s == t or d <= 0.0:
+                    continue
+                ratios = routing.ratios(s, t)
+                injections = np.zeros(network.num_nodes)
+                injections[s] = d
+                x = _solve_throughflow(network, ratios, injections, t)
+                loads += x[senders] * ratios
+    return loads
+
+
+def average_link_utilisation(
+    network: Network,
+    routing: RoutingStrategy,
+    demand_matrix: np.ndarray,
+) -> float:
+    """Mean over links of load / capacity (the §IX-A contrast objective)."""
+    loads = link_loads(network, routing, demand_matrix)
+    return float((loads / network.capacities).mean())
+
+
+def max_link_utilisation(
+    network: Network,
+    routing: RoutingStrategy,
+    demand_matrix: np.ndarray,
+) -> float:
+    """The achieved ``U_max``: max over links of load / capacity."""
+    loads = link_loads(network, routing, demand_matrix)
+    return float((loads / network.capacities).max())
+
+
+def utilisation_ratio(
+    network: Network,
+    routing: RoutingStrategy,
+    demand_matrix: np.ndarray,
+    optimal_utilisation: Optional[float] = None,
+) -> float:
+    """``U_agent / U_optimal`` — the paper's headline metric (≥ 1, lower is better).
+
+    Computes the LP optimum on the fly when ``optimal_utilisation`` is not
+    supplied.  Raises ``ValueError`` for an all-zero demand matrix (the
+    ratio is undefined there).
+    """
+    if optimal_utilisation is None:
+        from repro.flows.lp import solve_optimal_max_utilisation
+
+        optimal_utilisation = solve_optimal_max_utilisation(
+            network, demand_matrix
+        ).max_utilisation
+    if optimal_utilisation <= 0.0:
+        raise ValueError("utilisation ratio undefined for zero demand")
+    achieved = max_link_utilisation(network, routing, demand_matrix)
+    return achieved / optimal_utilisation

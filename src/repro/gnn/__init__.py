@@ -1,0 +1,19 @@
+"""Graph networks (Battaglia et al. 2018) on the in-repo autodiff engine.
+
+The paper builds its policies from "fully connected graph network blocks"
+in the framework of Battaglia et al. [2], implemented there with DeepMind's
+``graph_nets``/TensorFlow.  This package reimplements the needed pieces:
+
+* :class:`~repro.gnn.graphs_tuple.GraphsTuple` — batched graph container
+  (node/edge/global attribute tensors plus integer incidence arrays);
+* :class:`~repro.gnn.blocks.GNBlock` — the full GN block: φ update
+  functions as MLPs, ρ poolings as unsorted segment sums;
+* :class:`~repro.gnn.models.EncodeProcessDecode` — the encode → K×process
+  → decode stack of the paper's Figure 5.
+"""
+
+from repro.gnn.graphs_tuple import GraphsTuple, batch_graphs
+from repro.gnn.blocks import GNBlock
+from repro.gnn.models import EncodeProcessDecode
+
+__all__ = ["GraphsTuple", "batch_graphs", "GNBlock", "EncodeProcessDecode"]

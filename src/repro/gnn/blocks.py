@@ -1,0 +1,147 @@
+"""The full graph-network block of Battaglia et al. (paper §IV).
+
+One :class:`GNBlock` application performs the three φ updates with their ρ
+poolings, in the canonical order:
+
+1. **edge update** — ``e'_k = φ_e([e_k, v_{r_k}, v_{s_k}, u])``
+2. **node update** — ``v'_i = φ_v([v_i, ρ_{e→v}(e'), u])`` where ``ρ_{e→v}``
+   pools the updated attributes of edges *received* at ``i``;
+3. **global update** — ``u' = φ_u([ρ_{e→u}(e'), ρ_{v→u}(v'), u])``.
+
+Each φ is an MLP (as in the paper); each ρ is an unsorted segment reduction
+(the paper uses ``tf.unsorted_segment_sum``; ``mean`` is available for
+ablations since sum-pooling makes magnitudes grow with graph size, and
+``attention`` implements GAT-style weighted aggregation — the alternative
+GNN family the paper's §VII-A weighs against the full GN block).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.gnn.graphs_tuple import GraphsTuple
+from repro.tensor import (
+    Tensor,
+    concatenate,
+    gather_rows,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+from repro.tensor.nn import MLP, Linear, Module
+
+_REDUCERS = {"sum": segment_sum, "mean": segment_mean}
+REDUCER_NAMES = ("sum", "mean", "attention")
+
+
+class GNBlock(Module):
+    """A full GN block with MLP update functions.
+
+    Parameters
+    ----------
+    edge_model / node_model / global_model:
+        The φ MLPs.  Their input widths must match the concatenations
+        described in the module docstring; :meth:`build` computes them
+        for you.
+    reducer:
+        ``"sum"`` (paper default), ``"mean"``, or ``"attention"``
+        (GAT-style: a learned scalar score per updated edge, softmaxed
+        over the edges sharing a receiver, weights the edge→node pooling;
+        edge→global pooling stays a sum so graph-level magnitude
+        information survives).
+    attention_model:
+        Required when ``reducer="attention"``: a module mapping updated
+        edge attributes to one score per edge (``build`` creates a Linear).
+    """
+
+    def __init__(
+        self,
+        edge_model: MLP,
+        node_model: MLP,
+        global_model: MLP,
+        reducer: str = "sum",
+        attention_model: Optional[Module] = None,
+    ):
+        if reducer not in REDUCER_NAMES:
+            raise ValueError(f"unknown reducer {reducer!r}; choose from {sorted(REDUCER_NAMES)}")
+        if reducer == "attention" and attention_model is None:
+            raise ValueError("reducer='attention' requires an attention_model")
+        self.edge_model = edge_model
+        self.node_model = node_model
+        self.global_model = global_model
+        self.reducer = reducer
+        self.attention_model = attention_model
+
+    @classmethod
+    def build(
+        cls,
+        edge_in: int,
+        node_in: int,
+        global_in: int,
+        rng: np.random.Generator,
+        hidden: int = 32,
+        out: Optional[int] = None,
+        depth: int = 2,
+        activation: str = "relu",
+        layer_norm: bool = True,
+        reducer: str = "sum",
+    ) -> "GNBlock":
+        """Construct a block whose three MLPs map to a common width ``out``.
+
+        ``depth`` counts hidden layers; every MLP ends at ``out`` (default:
+        ``hidden``) and may be followed by layer normalisation (the
+        graph-nets convention that keeps sum-pooled magnitudes under
+        control).
+        """
+        out = hidden if out is None else out
+        edge_input = edge_in + 2 * node_in + global_in
+        node_input = node_in + out + global_in
+        global_input = out + out + global_in
+
+        def make(width_in: int) -> MLP:
+            sizes = [width_in] + [hidden] * depth + [out]
+            return MLP(sizes, rng, activation=activation, layer_norm=layer_norm)
+
+        attention_model = Linear(out, 1, rng) if reducer == "attention" else None
+        return cls(
+            make(edge_input),
+            make(node_input),
+            make(global_input),
+            reducer=reducer,
+            attention_model=attention_model,
+        )
+
+    def _aggregate_received(self, new_edges: Tensor, graph: GraphsTuple) -> Tensor:
+        """ρ(e→v): pool updated edge attributes at their receivers."""
+        if self.reducer == "attention":
+            scores = self.attention_model(new_edges)  # (E, 1)
+            weights = segment_softmax(scores, graph.receivers, graph.num_nodes)
+            return segment_sum(new_edges * weights, graph.receivers, graph.num_nodes)
+        return _REDUCERS[self.reducer](new_edges, graph.receivers, graph.num_nodes)
+
+    def forward(self, graph: GraphsTuple) -> GraphsTuple:
+        reduce = _REDUCERS.get(self.reducer, segment_sum)
+
+        sender_nodes = gather_rows(graph.nodes, graph.senders)
+        receiver_nodes = gather_rows(graph.nodes, graph.receivers)
+        edge_globals = gather_rows(graph.globals_, graph.edge_graph_ids)
+        edge_input = concatenate(
+            [graph.edges, receiver_nodes, sender_nodes, edge_globals], axis=1
+        )
+        new_edges = self.edge_model(edge_input)
+
+        received = self._aggregate_received(new_edges, graph)
+        node_globals = gather_rows(graph.globals_, graph.node_graph_ids)
+        node_input = concatenate([graph.nodes, received, node_globals], axis=1)
+        new_nodes = self.node_model(node_input)
+
+        edges_per_graph = reduce(new_edges, graph.edge_graph_ids, graph.num_graphs)
+        nodes_per_graph = reduce(new_nodes, graph.node_graph_ids, graph.num_graphs)
+        global_input = concatenate(
+            [edges_per_graph, nodes_per_graph, graph.globals_], axis=1
+        )
+        new_globals = self.global_model(global_input)
+
+        return graph.with_features(nodes=new_nodes, edges=new_edges, globals_=new_globals)

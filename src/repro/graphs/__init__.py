@@ -1,0 +1,33 @@
+"""Network topologies: the capacitated directed graphs GDDR routes over.
+
+:class:`~repro.graphs.network.Network` is the central data structure — an
+immutable directed graph with per-edge capacities and precomputed incidence
+arrays shared by the flow solver, the routing translation and the GNN
+featurizers.  :mod:`~repro.graphs.zoo` embeds real topologies (the paper used
+the Internet Topology Zoo), :mod:`~repro.graphs.generators` provides random
+families, and :mod:`~repro.graphs.modifications` implements the paper's
+random add/remove edge/node perturbations used in the Figure 8 evaluation.
+"""
+
+from repro.graphs.network import Network
+from repro.graphs.zoo import abilene, nsfnet, topology, TOPOLOGY_NAMES
+from repro.graphs.generators import (
+    barabasi_albert_network,
+    erdos_renyi_network,
+    random_connected_network,
+    waxman_network,
+)
+from repro.graphs.modifications import random_modification
+
+__all__ = [
+    "Network",
+    "abilene",
+    "nsfnet",
+    "topology",
+    "TOPOLOGY_NAMES",
+    "erdos_renyi_network",
+    "barabasi_albert_network",
+    "waxman_network",
+    "random_connected_network",
+    "random_modification",
+]

@@ -1,0 +1,22 @@
+"""Agent policies: the MLP baseline and the two GNN policies of the paper.
+
+* :class:`~repro.policies.mlp.MLPPolicy` — the Valadarsky et al. baseline
+  (paper §VII, Fig. 4): flattened demand history in, edge-weight vector out.
+  Fixed input/output sizes, hence no topology generalisation.
+* :class:`~repro.policies.gnn.GNNPolicy` — the one-shot GN policy (paper
+  §VII-A, Fig. 5): encode-process-decode over the network graph; node
+  inputs are per-vertex demand sums, edge outputs are the weights.
+* :class:`~repro.policies.iterative.IterativeGNNPolicy` — the iterative
+  policy (paper §VII-B): one edge is set per action, edge inputs carry
+  ``(weight, set, target)`` markers, the global output is ``(weight, γ)``.
+
+All implement the :class:`~repro.policies.base.ActorCriticPolicy` interface
+consumed by :class:`repro.rl.ppo.PPO`.
+"""
+
+from repro.policies.base import ActorCriticPolicy
+from repro.policies.mlp import MLPPolicy
+from repro.policies.gnn import GNNPolicy
+from repro.policies.iterative import IterativeGNNPolicy
+
+__all__ = ["ActorCriticPolicy", "MLPPolicy", "GNNPolicy", "IterativeGNNPolicy"]

@@ -1,0 +1,95 @@
+"""The actor-critic policy interface consumed by PPO.
+
+A policy owns its networks and its action distribution and exposes two
+views of the same computation:
+
+* :meth:`ActorCriticPolicy.act` — numpy-only single-observation inference
+  used while collecting rollouts (wrapped in ``no_grad``);
+* :meth:`ActorCriticPolicy.evaluate` — differentiable batch evaluation
+  used inside the PPO update.
+
+Observations are opaque objects; each concrete policy knows how to
+featurize the observations its environment emits.  Actions are numpy
+arrays whose length may vary across observations (different topologies
+have different |E|), which is why per-sample quantities (log-prob, value,
+entropy) are scalars collected into a batch vector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.rl.distributions import DiagonalGaussian
+from repro.tensor import Tensor, no_grad
+from repro.tensor.nn import Module
+
+
+class ActorCriticPolicy(Module):
+    """Base class for GDDR policies (see module docstring)."""
+
+    distribution: DiagonalGaussian
+
+    # ------------------------------------------------------------------
+    # To implement in subclasses
+    # ------------------------------------------------------------------
+    def action_mean_and_value(self, observation: Any) -> tuple[Tensor, Tensor]:
+        """Differentiable forward pass for one observation.
+
+        Returns ``(mean, value)`` where ``mean`` is the action-distribution
+        mean (1-D tensor) and ``value`` a scalar tensor.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared implementation
+    # ------------------------------------------------------------------
+    def act(
+        self,
+        observation: Any,
+        rng: np.random.Generator,
+        deterministic: bool = False,
+    ) -> tuple[np.ndarray, float, float]:
+        """Sample an action for rollout collection (no gradients).
+
+        Returns ``(action, log_prob, value)``.
+        """
+        with no_grad():
+            mean_t, value_t = self.action_mean_and_value(observation)
+        mean = mean_t.numpy()
+        value = float(value_t.numpy())
+        if deterministic:
+            action = mean.copy()
+        else:
+            action = self.distribution.sample(mean, rng)
+        log_prob = self.distribution.log_prob_value(mean, action)
+        return action, log_prob, value
+
+    def evaluate(
+        self, observations: Sequence[Any], actions: Sequence[np.ndarray]
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Differentiable evaluation of a minibatch.
+
+        Returns stacked 1-D tensors ``(log_probs, values, entropies)`` of
+        length ``len(observations)``.  The default implementation evaluates
+        sample-by-sample; policies with batched forward passes override it.
+        """
+        from repro.tensor import stack
+
+        log_probs, values, entropies = [], [], []
+        for observation, action in zip(observations, actions):
+            mean, value = self.action_mean_and_value(observation)
+            log_probs.append(self.distribution.log_prob(mean, action))
+            values.append(value)
+            entropies.append(self.distribution.entropy(np.asarray(action).size))
+        return stack(log_probs), stack(values), stack(entropies)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal: Module walk plus the distribution parameter.
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Tensor]:
+        yield from super().parameters()
+        dist = getattr(self, "distribution", None)
+        if dist is not None:
+            yield from dist.parameters()

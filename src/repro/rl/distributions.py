@@ -1,0 +1,121 @@
+"""Action distributions for continuous-control PPO.
+
+GDDR's actions are real vectors (edge weights, or ``(weight, γ)`` pairs in
+the iterative policy), so the policy head is a diagonal Gaussian.  The
+log-standard-deviation is a single *shared scalar* parameter rather than a
+per-dimension vector: this makes the distribution shape-agnostic, which is
+what lets one trained GNN policy emit actions of different lengths on
+different topologies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class DiagonalGaussian:
+    """Diagonal Gaussian with shared scalar log-std.
+
+    Parameters
+    ----------
+    initial_log_std:
+        Starting value of the log standard deviation (0.0 → std 1.0; the
+        stable-baselines default).
+    min_log_std / max_log_std:
+        Clamp range applied when reading the parameter, preventing the
+        collapse/explosion instabilities PPO is prone to.
+    """
+
+    def __init__(
+        self,
+        initial_log_std: float = 0.0,
+        min_log_std: float = -5.0,
+        max_log_std: float = 2.0,
+    ):
+        if min_log_std >= max_log_std:
+            raise ValueError("need min_log_std < max_log_std")
+        self.log_std = Tensor(np.array(initial_log_std), requires_grad=True)
+        self.min_log_std = float(min_log_std)
+        self.max_log_std = float(max_log_std)
+
+    # ------------------------------------------------------------------
+    # Numpy-side (rollouts)
+    # ------------------------------------------------------------------
+    def std_value(self) -> float:
+        """Current standard deviation as a plain float."""
+        return float(np.exp(np.clip(self.log_std.data, self.min_log_std, self.max_log_std)))
+
+    def sample(self, mean: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw an action given the policy mean (no gradient)."""
+        return mean + self.std_value() * rng.standard_normal(mean.shape)
+
+    def log_prob_value(self, mean: np.ndarray, action: np.ndarray) -> float:
+        """Log density of ``action`` (no gradient), summed over dimensions."""
+        std = self.std_value()
+        z = (np.asarray(action) - np.asarray(mean)) / std
+        dim = np.asarray(mean).size
+        return float(-0.5 * float((z**2).sum()) - dim * (np.log(std) + 0.5 * LOG_2PI))
+
+    # ------------------------------------------------------------------
+    # Tensor-side (training)
+    # ------------------------------------------------------------------
+    def clamped_log_std(self) -> Tensor:
+        return self.log_std.clip(self.min_log_std, self.max_log_std)
+
+    def log_prob(self, mean: Tensor, action: np.ndarray) -> Tensor:
+        """Differentiable log density summed over action dimensions."""
+        action_t = Tensor(np.asarray(action, dtype=np.float64))
+        log_std = self.clamped_log_std()
+        inv_std = (-log_std).exp()
+        z = (action_t - mean) * inv_std
+        dim = float(np.asarray(action).size)
+        return (z * z).sum() * (-0.5) - (log_std + 0.5 * LOG_2PI) * dim
+
+    def entropy(self, dim: int) -> Tensor:
+        """Differentiable entropy of a ``dim``-dimensional Gaussian."""
+        log_std = self.clamped_log_std()
+        return (log_std + 0.5 * (LOG_2PI + 1.0)) * float(dim)
+
+    # ------------------------------------------------------------------
+    # Batched Tensor-side (used by the policies' batched evaluate)
+    # ------------------------------------------------------------------
+    def log_prob_flat_batch(
+        self,
+        means_flat: Tensor,
+        actions_flat: np.ndarray,
+        sample_ids: np.ndarray,
+        num_samples: int,
+    ) -> Tensor:
+        """Log densities for a batch whose action dims may differ.
+
+        ``means_flat``/``actions_flat`` are the concatenation of every
+        sample's action vector; ``sample_ids`` says which sample each entry
+        belongs to.  Returns a ``(num_samples,)`` tensor.  This is the
+        segment-sum form used when evaluating GNN policies over batches of
+        heterogeneous topologies.
+        """
+        from repro.tensor import segment_sum
+
+        if means_flat.ndim != 1:
+            means_flat = means_flat.reshape((-1,))
+        actions_t = Tensor(np.asarray(actions_flat, dtype=np.float64).reshape(-1))
+        log_std = self.clamped_log_std()
+        inv_std = (-log_std).exp()
+        z = (actions_t - means_flat) * inv_std
+        sq = segment_sum(z * z, sample_ids, num_samples)
+        dims = np.bincount(np.asarray(sample_ids, dtype=np.int64), minlength=num_samples)
+        return sq * (-0.5) - (log_std + 0.5 * LOG_2PI) * Tensor(dims.astype(np.float64))
+
+    def entropy_batch(self, dims: np.ndarray) -> Tensor:
+        """Entropies for samples of (possibly different) action dims."""
+        log_std = self.clamped_log_std()
+        return (log_std + 0.5 * (LOG_2PI + 1.0)) * Tensor(
+            np.asarray(dims, dtype=np.float64)
+        )
+
+    def parameters(self):
+        yield self.log_std

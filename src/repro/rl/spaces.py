@@ -1,0 +1,65 @@
+"""Action/observation space descriptions (OpenAI-Gym ``Box`` equivalent)."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.utils.seeding import SeedLike, rng_from_seed
+
+
+class Box:
+    """A bounded box in R^shape.
+
+    Parameters
+    ----------
+    low, high:
+        Scalars or arrays broadcastable to ``shape``.
+    shape:
+        Tuple of dimensions.
+    """
+
+    def __init__(
+        self,
+        low: Union[float, np.ndarray],
+        high: Union[float, np.ndarray],
+        shape: tuple,
+    ):
+        self.shape = tuple(int(s) for s in shape)
+        self.low = np.broadcast_to(np.asarray(low, dtype=np.float64), self.shape).copy()
+        self.high = np.broadcast_to(np.asarray(high, dtype=np.float64), self.shape).copy()
+        if np.any(self.low > self.high):
+            raise ValueError("Box low bound exceeds high bound")
+
+    def sample(self, rng: SeedLike = None) -> np.ndarray:
+        """Uniform sample from the box."""
+        rng = rng_from_seed(rng)
+        return rng.uniform(self.low, self.high)
+
+    def contains(self, x: np.ndarray) -> bool:
+        """Membership check with exact bounds."""
+        x = np.asarray(x, dtype=np.float64)
+        return x.shape == self.shape and bool(
+            np.all(x >= self.low) and np.all(x <= self.high)
+        )
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Project ``x`` onto the box."""
+        return np.clip(np.asarray(x, dtype=np.float64), self.low, self.high)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def __repr__(self) -> str:
+        return f"Box(shape={self.shape}, low={self.low.min():g}, high={self.high.max():g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )

@@ -1,0 +1,67 @@
+"""Alternative weight-to-routing translations (paper §IX-A further work).
+
+The paper suggests "an exploration of different techniques in mapping edge
+weights … to a routing strategy could provide interesting results".  This
+module provides two alternatives to softmin, both defined over the same
+loop-free strictly-decreasing-distance DAG:
+
+* :func:`inverse_weight_routing` — splitting ratios proportional to
+  ``1 / w(e)`` among the DAG's outgoing edges (OSPF-style "cheaper link
+  gets more" without the distance-to-sink term);
+* :func:`capacity_proportional_routing` — ratios proportional to link
+  capacity, i.e. a weight-free static multipath spread.
+
+Both produce :class:`~repro.routing.strategy.DestinationRouting` objects
+obeying the §IV-A constraints, so they slot into the same simulator,
+evaluation and ablation harness as softmin routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.network import Network
+from repro.routing.dag import prune_by_distance
+from repro.routing.softmin import _masked_distances_to, _validate_weights
+from repro.routing.strategy import DestinationRouting
+
+
+def _proportional_table(
+    network: Network, weights: np.ndarray, scores: np.ndarray
+) -> np.ndarray:
+    """Build a per-destination ratio table splitting ∝ ``scores`` on the DAG."""
+    table = np.zeros((network.num_nodes, network.num_edges))
+    for t in range(network.num_nodes):
+        mask = prune_by_distance(network, weights, t)
+        distances = _masked_distances_to(network, weights, mask, t)
+        for v in range(network.num_nodes):
+            if v == t or not np.isfinite(distances[v]):
+                continue
+            allowed = [
+                e
+                for e in network.out_edges[v]
+                if mask[e] and np.isfinite(distances[network.edges[e][1]])
+            ]
+            if not allowed:
+                continue
+            share = scores[allowed]
+            total = share.sum()
+            if total <= 0.0:
+                share = np.ones(len(allowed))
+                total = float(len(allowed))
+            table[t, allowed] = share / total
+    return table
+
+
+def inverse_weight_routing(network: Network, weights: np.ndarray) -> DestinationRouting:
+    """Split ∝ 1/weight across the decreasing-distance DAG's out-edges."""
+    weights = _validate_weights(network, weights)
+    return DestinationRouting(network, _proportional_table(network, weights, 1.0 / weights))
+
+
+def capacity_proportional_routing(network: Network) -> DestinationRouting:
+    """Split ∝ link capacity across the hop-count DAG's out-edges."""
+    weights = np.ones(network.num_edges)
+    return DestinationRouting(
+        network, _proportional_table(network, weights, network.capacities.copy())
+    )

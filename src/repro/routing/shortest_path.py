@@ -1,0 +1,92 @@
+"""Classical shortest-path routing baselines.
+
+The paper compares every learned policy against "shortest-path routing … a
+simple classical method" (§VIII-A, the dotted lines in Figures 6 and 8).
+Two variants are provided:
+
+* :func:`shortest_path_routing` — single next hop per (vertex, destination),
+  like plain OSPF/RIP with unique path selection;
+* :func:`ecmp_routing` — equal-cost multi-path: flow splits evenly across
+  all next hops on shortest paths, like OSPF with ECMP enabled.
+
+Both are destination-based routings; weights default to unit (hop count) and
+may be any positive per-edge vector (e.g. inverse capacity).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.network import Network
+from repro.routing.strategy import DestinationRouting
+
+_TIE_TOLERANCE = 1e-9
+
+
+def _resolve_weights(network: Network, weights: Optional[np.ndarray]) -> np.ndarray:
+    if weights is None:
+        return np.ones(network.num_edges)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (network.num_edges,):
+        raise ValueError(
+            f"weights has shape {weights.shape}, expected ({network.num_edges},)"
+        )
+    if np.any(weights <= 0.0):
+        raise ValueError("shortest-path weights must be strictly positive")
+    return weights
+
+
+def _next_hop_edges(
+    network: Network, distances: np.ndarray, weights: np.ndarray, v: int
+) -> list[int]:
+    """Edge ids out of ``v`` lying on some shortest path to the target."""
+    hops = []
+    for edge_id in network.out_edges[v]:
+        u = network.edges[edge_id][1]
+        if np.isfinite(distances[u]) and abs(
+            weights[edge_id] + distances[u] - distances[v]
+        ) <= _TIE_TOLERANCE * max(1.0, distances[v]):
+            hops.append(edge_id)
+    return hops
+
+
+def shortest_path_routing(
+    network: Network, weights: Optional[np.ndarray] = None
+) -> DestinationRouting:
+    """Single-path shortest-path routing (lowest edge id breaks ties)."""
+    weights = _resolve_weights(network, weights)
+    table = np.zeros((network.num_nodes, network.num_edges))
+    for t in range(network.num_nodes):
+        distances = network.shortest_path_distances(weights, target=t)
+        for v in range(network.num_nodes):
+            if v == t or not np.isfinite(distances[v]):
+                continue
+            hops = _next_hop_edges(network, distances, weights, v)
+            if hops:
+                table[t, hops[0]] = 1.0
+    return DestinationRouting(network, table)
+
+
+def ecmp_routing(
+    network: Network, weights: Optional[np.ndarray] = None
+) -> DestinationRouting:
+    """Equal-cost multi-path: even split over all shortest next hops."""
+    weights = _resolve_weights(network, weights)
+    table = np.zeros((network.num_nodes, network.num_edges))
+    for t in range(network.num_nodes):
+        distances = network.shortest_path_distances(weights, target=t)
+        for v in range(network.num_nodes):
+            if v == t or not np.isfinite(distances[v]):
+                continue
+            hops = _next_hop_edges(network, distances, weights, v)
+            for edge_id in hops:
+                table[t, edge_id] = 1.0 / len(hops)
+    return DestinationRouting(network, table)
+
+
+def inverse_capacity_weights(network: Network) -> np.ndarray:
+    """OSPF's recommended metric: weight inversely proportional to capacity."""
+    reference = float(network.capacities.max())
+    return reference / network.capacities

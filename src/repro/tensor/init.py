@@ -1,0 +1,52 @@
+"""Weight initialisers for the neural-network layers.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so that
+every experiment in the repository is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He normal initialisation, suited to ReLU networks."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def orthogonal(rng: np.random.Generator, fan_in: int, fan_out: int, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation (the stable-baselines default for PPO)."""
+    size = max(fan_in, fan_out)
+    a = rng.normal(0.0, 1.0, size=(size, size))
+    q, r = np.linalg.qr(a)
+    q = q * np.sign(np.diag(r))
+    return gain * q[:fan_in, :fan_out]
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation (used for biases and output layers)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+INITIALIZERS = {
+    "glorot": glorot_uniform,
+    "he": he_normal,
+    "orthogonal": orthogonal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name, raising a clear error if unknown."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name!r}; choose from {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,231 @@
+"""Neural-network layers built on the autodiff engine.
+
+The layer set mirrors what the paper's policies need: dense layers, MLPs (the
+paper implements every GN update function φ as an MLP), layer normalisation,
+and a generic :class:`Module` container with parameter traversal for the
+optimisers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.tensor import ops
+from repro.tensor.init import get_initializer, zeros
+from repro.tensor.tensor import Tensor
+
+Activation = Callable[[Tensor], Tensor]
+
+ACTIVATIONS: dict[str, Activation] = {
+    "relu": ops.relu,
+    "tanh": ops.tanh,
+    "sigmoid": ops.sigmoid,
+    "identity": lambda t: t,
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation function by name."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(ACTIVATIONS)}"
+        ) from None
+
+
+class Module:
+    """Base class for anything holding trainable parameters.
+
+    Subclasses register parameters either directly as :class:`Tensor`
+    attributes with ``requires_grad=True`` or through child modules; the
+    :meth:`parameters` walk finds both.
+    """
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield every trainable tensor in this module and its children."""
+        seen: set[int] = set()
+        yield from self._walk(seen)
+
+    def _walk(self, seen: set) -> Iterator[Tensor]:
+        for value in self.__dict__.values():
+            yield from _parameters_of(value, seen)
+
+    def zero_grad(self) -> None:
+        """Clear the gradient of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> list[np.ndarray]:
+        """Return a copy of every parameter array in traversal order."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: Sequence[np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` back into parameters."""
+        params = list(self.parameters())
+        if len(params) != len(state):
+            raise ValueError(
+                f"state has {len(state)} arrays but module has {len(params)} parameters"
+            )
+        for param, array in zip(params, state):
+            if param.data.shape != array.shape:
+                raise ValueError(
+                    f"shape mismatch: parameter {param.data.shape} vs state {array.shape}"
+                )
+            param.data = array.copy()
+
+    def save(self, path) -> None:
+        """Serialise all parameters to an ``.npz`` file.
+
+        The file stores arrays in traversal order; load into an identically
+        constructed module with :meth:`load`.
+        """
+        arrays = {f"param_{i}": array for i, array in enumerate(self.state_dict())}
+        np.savez(path, **arrays)
+
+    def load(self, path) -> None:
+        """Restore parameters saved by :meth:`save` into this module."""
+        with np.load(path) as data:
+            state = [data[f"param_{i}"] for i in range(len(data.files))]
+        self.load_state_dict(state)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+def _parameters_of(value, seen: set) -> Iterator[Tensor]:
+    if isinstance(value, Tensor):
+        if value.requires_grad and id(value) not in seen:
+            seen.add(id(value))
+            yield value
+    elif isinstance(value, Module):
+        yield from value._walk(seen)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _parameters_of(item, seen)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _parameters_of(item, seen)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    rng:
+        Generator used for weight initialisation.
+    initializer:
+        Name of the weight initialiser (``glorot``, ``he`` or ``orthogonal``).
+    gain:
+        Extra multiplicative factor on the initial weights; PPO conventionally
+        shrinks the final policy layer (gain ``0.01``).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        initializer: str = "glorot",
+        gain: float = 1.0,
+    ):
+        init = get_initializer(initializer)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(gain * init(rng, in_features, out_features), requires_grad=True)
+        self.bias = Tensor(zeros((out_features,)), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return (x @ self.weight) + self.bias
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis, as used after GN-block MLPs."""
+
+    def __init__(self, features: int, epsilon: float = 1e-5):
+        self.features = features
+        self.epsilon = epsilon
+        self.scale = Tensor(np.ones((features,)), requires_grad=True)
+        self.shift = Tensor(np.zeros((features,)), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normed = centred / (variance + self.epsilon).sqrt()
+        return normed * self.scale + self.shift
+
+
+class MLP(Module):
+    """A multilayer perceptron: the building block of every GDDR policy.
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths including input and output, e.g. ``(4, 64, 64, 1)``.
+    rng:
+        Generator for weight initialisation.
+    activation:
+        Hidden-layer activation name.
+    output_activation:
+        Activation applied to the final layer (default identity).
+    layer_norm:
+        Append a :class:`LayerNorm` after the output, following the
+        graph-nets convention for GN update functions.
+    initializer / final_gain:
+        Weight initialiser name and the gain of the last layer.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+        output_activation: str = "identity",
+        layer_norm: bool = False,
+        initializer: str = "glorot",
+        final_gain: float = 1.0,
+    ):
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        self.sizes = tuple(int(s) for s in sizes)
+        self.activation = get_activation(activation)
+        self.output_activation = get_activation(output_activation)
+        self.layers: list[Linear] = []
+        for i, (fan_in, fan_out) in enumerate(zip(self.sizes[:-1], self.sizes[1:])):
+            is_last = i == len(self.sizes) - 2
+            gain = final_gain if is_last else 1.0
+            self.layers.append(Linear(fan_in, fan_out, rng, initializer=initializer, gain=gain))
+        self.norm: Optional[LayerNorm] = LayerNorm(self.sizes[-1]) if layer_norm else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers[:-1]:
+            x = self.activation(layer(x))
+        x = self.output_activation(self.layers[-1](x))
+        if self.norm is not None:
+            x = self.norm(x)
+        return x
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x

@@ -1,0 +1,441 @@
+"""Differentiable operations for :class:`repro.tensor.Tensor`.
+
+Every op follows the same pattern: compute the forward result with numpy,
+then register a backward closure ``backward(grad, receive)`` that calls
+``receive(parent, parent_grad)`` for each input.  Broadcasting is undone with
+:func:`repro.tensor.tensor.unbroadcast` so the gradient always matches the
+parent's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, unbroadcast
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data + b.data
+
+    def backward(grad, receive):
+        receive(a, unbroadcast(grad, a.data.shape))
+        receive(b, unbroadcast(grad, b.data.shape))
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data - b.data
+
+    def backward(grad, receive):
+        receive(a, unbroadcast(grad, a.data.shape))
+        receive(b, unbroadcast(-grad, b.data.shape))
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data * b.data
+
+    def backward(grad, receive):
+        receive(a, unbroadcast(grad * b.data, a.data.shape))
+        receive(b, unbroadcast(grad * a.data, b.data.shape))
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data / b.data
+
+    def backward(grad, receive):
+        receive(a, unbroadcast(grad / b.data, a.data.shape))
+        receive(b, unbroadcast(-grad * a.data / (b.data**2), b.data.shape))
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    out = a.data**exponent
+
+    def backward(grad, receive):
+        receive(a, grad * exponent * a.data ** (exponent - 1.0))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum; at ties the gradient flows to the first operand."""
+    a, b = Tensor.ensure(a), Tensor.ensure(b)
+    out = np.maximum(a.data, b.data)
+    a_wins = a.data >= b.data
+
+    def backward(grad, receive):
+        receive(a, unbroadcast(grad * a_wins, a.data.shape))
+        receive(b, unbroadcast(grad * ~a_wins, b.data.shape))
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise minimum; at ties the gradient flows to the first operand."""
+    a, b = Tensor.ensure(a), Tensor.ensure(b)
+    out = np.minimum(a.data, b.data)
+    a_wins = a.data <= b.data
+
+    def backward(grad, receive):
+        receive(a, unbroadcast(grad * a_wins, a.data.shape))
+        receive(b, unbroadcast(grad * ~a_wins, b.data.shape))
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def where(condition, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable ``np.where``; ``condition`` is a constant mask."""
+    a, b = Tensor.ensure(a), Tensor.ensure(b)
+    mask = np.asarray(condition, dtype=bool)
+    out = np.where(mask, a.data, b.data)
+
+    def backward(grad, receive):
+        receive(a, unbroadcast(grad * mask, a.data.shape))
+        receive(b, unbroadcast(grad * ~mask, b.data.shape))
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def clip(a: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient is zero outside the range."""
+    out = np.clip(a.data, low, high)
+    inside = (a.data >= low) & (a.data <= high)
+
+    def backward(grad, receive):
+        receive(a, grad * inside)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def absolute(a: Tensor) -> Tensor:
+    out = np.abs(a.data)
+    sign = np.sign(a.data)
+
+    def backward(grad, receive):
+        receive(a, grad * sign)
+
+    return Tensor.make(out, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Pointwise nonlinearities
+# ---------------------------------------------------------------------------
+
+
+def exp(a: Tensor) -> Tensor:
+    out = np.exp(a.data)
+
+    def backward(grad, receive):
+        receive(a, grad * out)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    out = np.log(a.data)
+
+    def backward(grad, receive):
+        receive(a, grad / a.data)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    out = np.sqrt(a.data)
+
+    def backward(grad, receive):
+        receive(a, grad * 0.5 / out)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    out = np.tanh(a.data)
+
+    def backward(grad, receive):
+        receive(a, grad * (1.0 - out**2))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    out = np.maximum(a.data, 0.0)
+    positive = a.data > 0.0
+
+    def backward(grad, receive):
+        receive(a, grad * positive)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    out = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad, receive):
+        receive(a, grad * out * (1.0 - out))
+
+    return Tensor.make(out, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra / shape
+# ---------------------------------------------------------------------------
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product supporting (m,k)@(k,n), (k,)@(k,n) and (m,k)@(k,)."""
+    out = a.data @ b.data
+
+    def backward(grad, receive):
+        a_data, b_data = a.data, b.data
+        if a_data.ndim == 1 and b_data.ndim == 2:
+            receive(a, grad @ b_data.T)
+            receive(b, np.outer(a_data, grad))
+        elif a_data.ndim == 2 and b_data.ndim == 1:
+            receive(a, np.outer(grad, b_data))
+            receive(b, a_data.T @ grad)
+        elif a_data.ndim == 1 and b_data.ndim == 1:
+            receive(a, grad * b_data)
+            receive(b, grad * a_data)
+        else:
+            receive(a, grad @ np.swapaxes(b_data, -1, -2))
+            receive(b, np.swapaxes(a_data, -1, -2) @ grad)
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def reshape(a: Tensor, shape: tuple) -> Tensor:
+    out = a.data.reshape(shape)
+
+    def backward(grad, receive):
+        receive(a, grad.reshape(a.data.shape))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def transpose(a: Tensor, axes: Optional[tuple] = None) -> Tensor:
+    out = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+
+    def backward(grad, receive):
+        receive(a, np.transpose(grad, inverse))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def getitem(a: Tensor, index) -> Tensor:
+    """Basic and integer-array indexing with scatter-add backward."""
+    out = a.data[index]
+
+    def backward(grad, receive):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        receive(a, full)
+
+    return Tensor.make(np.array(out, copy=True), (a,), backward)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [Tensor.ensure(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad, receive):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            receive(tensor, grad[tuple(slicer)])
+
+    return Tensor.make(out, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [Tensor.ensure(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad, receive):
+        slices = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            receive(tensor, piece)
+
+    return Tensor.make(out, tensors, backward)
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+
+def reduce_sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad, receive):
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        receive(a, np.broadcast_to(g, a.data.shape).copy())
+
+    return Tensor.make(out, (a,), backward)
+
+
+def reduce_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    out = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.data.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(grad, receive):
+        g = np.asarray(grad) / float(count)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        receive(a, np.broadcast_to(g, a.data.shape).copy())
+
+    return Tensor.make(out, (a,), backward)
+
+
+def reduce_max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Max reduction; ties split the gradient evenly between maxima."""
+    out = a.data.max(axis=axis, keepdims=keepdims)
+    expanded = a.data.max(axis=axis, keepdims=True)
+    mask = (a.data == expanded).astype(np.float64)
+    mask = mask / mask.sum(axis=axis, keepdims=True)
+
+    def backward(grad, receive):
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        receive(a, np.broadcast_to(g, a.data.shape) * mask)
+
+    return Tensor.make(out, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Softmax family
+# ---------------------------------------------------------------------------
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad, receive):
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        receive(a, out * (grad - dot))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_norm
+    probs = np.exp(out)
+
+    def backward(grad, receive):
+        receive(a, grad - probs * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor.make(out, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Gather / scatter / segment ops (the GNN workhorses)
+# ---------------------------------------------------------------------------
+
+
+def gather_rows(a: Tensor, indices) -> Tensor:
+    """Select rows ``a[indices]`` (indices may repeat)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = a.data[indices]
+
+    def backward(grad, receive):
+        full = np.zeros_like(a.data)
+        np.add.at(full, indices, grad)
+        receive(a, full)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def scatter_add_rows(a: Tensor, indices, num_rows: int) -> Tensor:
+    """Scatter rows of ``a`` into ``num_rows`` buckets, adding collisions.
+
+    Equivalent to :func:`segment_sum` but named for the scatter view.
+    """
+    return segment_sum(a, indices, num_rows)
+
+
+def segment_sum(a: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Sum rows of ``a`` grouped by ``segment_ids``.
+
+    The reproduction's stand-in for ``tf.unsorted_segment_sum`` — the pooling
+    (ρ) function used by the paper's graph-network blocks.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + a.data.shape[1:]
+    out = np.zeros(out_shape, dtype=a.data.dtype)
+    np.add.at(out, segment_ids, a.data)
+
+    def backward(grad, receive):
+        receive(a, grad[segment_ids])
+
+    return Tensor.make(out, (a,), backward)
+
+
+def segment_mean(a: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Mean of rows grouped by ``segment_ids``; empty segments give zero."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    safe_counts = np.maximum(counts, 1.0)
+    summed = segment_sum(a, segment_ids, num_segments)
+    divisor = safe_counts.reshape((-1,) + (1,) * (a.data.ndim - 1))
+    return div(summed, Tensor(divisor))
+
+
+def segment_softmax(a: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Softmax over rows grouped by ``segment_ids``.
+
+    Each segment's entries are exponentiated and normalised so they sum to
+    one within the segment (rows of ``a`` must be 1-D scores or per-column
+    independent scores).  Numerically stabilised by subtracting each
+    segment's maximum, which is treated as a constant (the standard
+    softmax-stability trick).  This is the attention-normalisation
+    primitive for GAT-style aggregation.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    maxima = segment_max(a, segment_ids, num_segments).detach()
+    shifted = sub(a, gather_rows(maxima, segment_ids))
+    exps = exp(shifted)
+    sums = segment_sum(exps, segment_ids, num_segments)
+    return div(exps, gather_rows(sums, segment_ids))
+
+
+def segment_max(a: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Max of rows grouped by ``segment_ids``; empty segments give zero."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + a.data.shape[1:]
+    out = np.full(out_shape, -np.inf, dtype=a.data.dtype)
+    np.maximum.at(out, segment_ids, a.data)
+    empty = np.isinf(out)
+    out = np.where(empty, 0.0, out)
+    winners = (a.data == out[segment_ids]).astype(np.float64)
+
+    def backward(grad, receive):
+        receive(a, grad[segment_ids] * winners)
+
+    return Tensor.make(out, (a,), backward)

@@ -1,0 +1,375 @@
+"""The core :class:`Tensor` type and the reverse-mode autodiff tape.
+
+Design
+------
+Every differentiable operation builds a new :class:`Tensor` whose ``_parents``
+tuple references its inputs and whose ``_backward`` closure knows how to push
+the output gradient back into those inputs.  Calling :meth:`Tensor.backward`
+topologically sorts the implicit graph and runs the closures in reverse
+order.  Gradients accumulate into ``Tensor.grad`` (a plain numpy array) for
+every leaf created with ``requires_grad=True``.
+
+Broadcasting follows numpy semantics; :func:`unbroadcast` reduces an upstream
+gradient back to the shape of the operand that was broadcast.
+
+A module-level switch (:func:`no_grad`) disables graph construction for
+rollout/inference code paths, mirroring ``torch.no_grad`` /
+``tf.stop_gradient`` usage in RL libraries.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations are currently recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables gradient recording.
+
+    Inside the block every operation produces constant tensors, which keeps
+    inference (e.g. PPO rollouts) cheap and prevents the tape from growing.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``, undoing numpy broadcasting.
+
+    Axes that were added by broadcasting are summed out, and axes of size one
+    that were stretched are summed back with ``keepdims``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum out leading axes that were prepended by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were stretched from size 1.
+    stretched = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if stretched:
+        grad = grad.sum(axis=stretched, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    array = np.asarray(value, dtype=np.float64)
+    return array
+
+
+class Tensor:
+    """A numpy-backed array that supports reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``float64`` numpy array.
+    requires_grad:
+        If ``True`` this tensor is a trainable leaf: gradients accumulate in
+        :attr:`grad` when :meth:`backward` is called on a downstream scalar.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a non-leaf tensor from an op's forward result.
+
+        If gradients are globally disabled, or no parent requires a gradient,
+        the result is a constant and the closure is dropped.
+        """
+        parents = tuple(parents)
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Coerce ``value`` to a :class:`Tensor` (constants stay constant)."""
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a constant tensor sharing this tensor's data."""
+        return Tensor(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_note})"
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate from this tensor to every reachable leaf.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1.0, which requires this tensor to be scalar.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        order = self._topological_order()
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            node._accumulate_parent_grads(node_grad, grads)
+
+    def _accumulate_parent_grads(self, node_grad: np.ndarray, grads: dict) -> None:
+        """Run this node's backward closure, collecting parent gradients."""
+        contributions: list[tuple[Tensor, np.ndarray]] = []
+
+        def receive(parent: Tensor, g: np.ndarray) -> None:
+            contributions.append((parent, g))
+
+        self._backward(node_grad, receive)  # type: ignore[misc]
+        for parent, g in contributions:
+            if not parent.requires_grad:
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + g
+            else:
+                grads[key] = g
+
+    def _topological_order(self) -> list["Tensor"]:
+        """Return nodes reachable from ``self`` in reverse topological order."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic (implemented in ops.py, bound here to avoid import cycle)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.tensor import ops
+
+        return ops.add(self, Tensor.ensure(other))
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        from repro.tensor import ops
+
+        return ops.sub(self, Tensor.ensure(other))
+
+    def __rsub__(self, other):
+        from repro.tensor import ops
+
+        return ops.sub(Tensor.ensure(other), self)
+
+    def __mul__(self, other):
+        from repro.tensor import ops
+
+        return ops.mul(self, Tensor.ensure(other))
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other):
+        from repro.tensor import ops
+
+        return ops.div(self, Tensor.ensure(other))
+
+    def __rtruediv__(self, other):
+        from repro.tensor import ops
+
+        return ops.div(Tensor.ensure(other), self)
+
+    def __neg__(self):
+        from repro.tensor import ops
+
+        return ops.mul(self, Tensor(-1.0))
+
+    def __pow__(self, exponent: float):
+        from repro.tensor import ops
+
+        return ops.power(self, float(exponent))
+
+    def __matmul__(self, other):
+        from repro.tensor import ops
+
+        return ops.matmul(self, Tensor.ensure(other))
+
+    def __getitem__(self, index):
+        from repro.tensor import ops
+
+        return ops.getitem(self, index)
+
+    # Reductions / shape ops -------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.reduce_sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.reduce_mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.reduce_max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.reduce_max(-self, axis=axis, keepdims=keepdims) * -1.0
+
+    def reshape(self, *shape):
+        from repro.tensor import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def flatten(self):
+        return self.reshape((-1,))
+
+    def transpose(self, axes=None):
+        from repro.tensor import ops
+
+        return ops.transpose(self, axes)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    # Pointwise nonlinearities -----------------------------------------------
+    def exp(self):
+        from repro.tensor import ops
+
+        return ops.exp(self)
+
+    def log(self):
+        from repro.tensor import ops
+
+        return ops.log(self)
+
+    def sqrt(self):
+        from repro.tensor import ops
+
+        return ops.sqrt(self)
+
+    def tanh(self):
+        from repro.tensor import ops
+
+        return ops.tanh(self)
+
+    def relu(self):
+        from repro.tensor import ops
+
+        return ops.relu(self)
+
+    def sigmoid(self):
+        from repro.tensor import ops
+
+        return ops.sigmoid(self)
+
+    def clip(self, low: float, high: float):
+        from repro.tensor import ops
+
+        return ops.clip(self, low, high)
+
+    def abs(self):
+        from repro.tensor import ops
+
+        return ops.absolute(self)

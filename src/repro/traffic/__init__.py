@@ -1,0 +1,32 @@
+"""Traffic demand generation.
+
+The paper evaluates on synthetic demand-matrix (DM) sequences with two
+properties (§VIII-B): demands are *bimodal* (a heavy "elephant" mode next to
+a light mode, simulating occasional elephant flows) and sequences are
+*cyclical* (``x = {D_{i mod q}}``, giving the temporal regularity the agent
+exploits).  :mod:`~repro.traffic.matrices` generates single DMs under several
+models; :mod:`~repro.traffic.sequences` assembles them into cyclical
+sequences and train/test splits.
+"""
+
+from repro.traffic.matrices import (
+    bimodal_matrix,
+    gravity_matrix,
+    sparse_matrix,
+    uniform_matrix,
+)
+from repro.traffic.sequences import (
+    DemandSequence,
+    cyclical_sequence,
+    train_test_sequences,
+)
+
+__all__ = [
+    "bimodal_matrix",
+    "gravity_matrix",
+    "uniform_matrix",
+    "sparse_matrix",
+    "DemandSequence",
+    "cyclical_sequence",
+    "train_test_sequences",
+]

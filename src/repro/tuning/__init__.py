@@ -1,0 +1,22 @@
+"""Hyperparameter tuning (the paper used OpenTuner; §VIII-C).
+
+A small search framework: parameter spaces in
+:mod:`~repro.tuning.spaces`, random search and successive halving in
+:mod:`~repro.tuning.search`.  The experiment harness exposes a tuning
+entry point that optimises PPO/policy hyperparameters against short
+training runs, mirroring the paper's pre-training tuning pass.
+"""
+
+from repro.tuning.spaces import Choice, IntRange, LogUniform, SearchSpace, Uniform
+from repro.tuning.search import RandomSearchTuner, TrialResult, successive_halving
+
+__all__ = [
+    "Uniform",
+    "LogUniform",
+    "IntRange",
+    "Choice",
+    "SearchSpace",
+    "RandomSearchTuner",
+    "TrialResult",
+    "successive_halving",
+]

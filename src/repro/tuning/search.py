@@ -1,0 +1,109 @@
+"""Search strategies: random search and successive halving.
+
+The paper tuned hyperparameters with OpenTuner before training; these two
+strategies cover the same practical ground for the reproduction.  The
+objective is a callable ``evaluate(config, budget) -> float`` returning a
+score to *maximise* (e.g. mean episode reward after a short training run);
+``budget`` lets successive halving spend more timesteps on surviving
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.tuning.spaces import SearchSpace
+from repro.utils.seeding import SeedLike, rng_from_seed
+
+Objective = Callable[[dict, int], float]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One evaluated configuration."""
+
+    config: dict
+    score: float
+    budget: int
+
+
+class RandomSearchTuner:
+    """Pure random search over a :class:`SearchSpace`.
+
+    Parameters
+    ----------
+    space:
+        The parameter space.
+    objective:
+        ``objective(config, budget) -> score`` (higher is better).
+    budget:
+        Budget handed to every trial (e.g. training timesteps).
+    seed:
+        Sampling seed.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        objective: Objective,
+        budget: int = 1,
+        seed: SeedLike = None,
+    ):
+        self.space = space
+        self.objective = objective
+        self.budget = int(budget)
+        self.rng = rng_from_seed(seed)
+        self.trials: list[TrialResult] = []
+
+    def run(self, num_trials: int) -> TrialResult:
+        """Evaluate ``num_trials`` random configs; returns the best trial."""
+        if num_trials < 1:
+            raise ValueError("num_trials must be >= 1")
+        for _ in range(num_trials):
+            config = self.space.sample(self.rng)
+            score = float(self.objective(config, self.budget))
+            self.trials.append(TrialResult(config, score, self.budget))
+        return self.best()
+
+    def best(self) -> TrialResult:
+        """The highest-scoring trial so far."""
+        if not self.trials:
+            raise RuntimeError("no trials have been run")
+        return max(self.trials, key=lambda t: t.score)
+
+
+def successive_halving(
+    space: SearchSpace,
+    objective: Objective,
+    num_configs: int = 8,
+    min_budget: int = 1,
+    eta: int = 2,
+    seed: SeedLike = None,
+) -> TrialResult:
+    """Successive halving: start wide and cheap, finish narrow and deep.
+
+    ``num_configs`` random configurations are evaluated at ``min_budget``;
+    the best ``1/eta`` fraction advances with an ``eta``-times larger
+    budget, repeating until one configuration remains.  Returns the final
+    surviving trial.
+    """
+    if num_configs < 2:
+        raise ValueError("num_configs must be >= 2")
+    if eta < 2:
+        raise ValueError("eta must be >= 2")
+    rng = rng_from_seed(seed)
+    population = [space.sample(rng) for _ in range(num_configs)]
+    budget = int(min_budget)
+    survivors = [TrialResult(c, float(objective(c, budget)), budget) for c in population]
+    while len(survivors) > 1:
+        survivors.sort(key=lambda t: t.score, reverse=True)
+        keep = max(1, len(survivors) // eta)
+        budget *= eta
+        survivors = [
+            TrialResult(t.config, float(objective(t.config, budget)), budget)
+            for t in survivors[:keep]
+        ]
+    return survivors[0]

@@ -1,0 +1,97 @@
+"""Parameter-space primitives for hyperparameter search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class Parameter:
+    """Base class: a named sampleable hyperparameter."""
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Uniform(Parameter):
+    """Continuous uniform over ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.high <= self.low:
+            raise ValueError(f"need high > low, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+@dataclass(frozen=True)
+class LogUniform(Parameter):
+    """Log-uniform over ``[low, high]`` — the right prior for learning rates."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not 0.0 < self.low < self.high:
+            raise ValueError(f"need 0 < low < high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+
+
+@dataclass(frozen=True)
+class IntRange(Parameter):
+    """Integer uniform over ``[low, high]`` inclusive."""
+
+    low: int
+    high: int
+
+    def __post_init__(self):
+        if self.high < self.low:
+            raise ValueError(f"need high >= low, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+
+@dataclass(frozen=True)
+class Choice(Parameter):
+    """Uniform over an explicit option list."""
+
+    options: tuple
+
+    def __init__(self, options: Sequence):
+        if not options:
+            raise ValueError("Choice needs at least one option")
+        object.__setattr__(self, "options", tuple(options))
+
+    def sample(self, rng: np.random.Generator):
+        return self.options[int(rng.integers(0, len(self.options)))]
+
+
+class SearchSpace:
+    """A named collection of parameters sampled jointly.
+
+    >>> space = SearchSpace(lr=LogUniform(1e-5, 1e-2), hidden=Choice([32, 64]))
+    >>> config = space.sample(np.random.default_rng(0))
+    """
+
+    def __init__(self, **parameters: Parameter):
+        if not parameters:
+            raise ValueError("search space needs at least one parameter")
+        for name, parameter in parameters.items():
+            if not isinstance(parameter, Parameter):
+                raise TypeError(f"{name} is not a Parameter: {parameter!r}")
+        self.parameters = dict(parameters)
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        return {name: p.sample(rng) for name, p in self.parameters.items()}
+
+    def names(self) -> list[str]:
+        return list(self.parameters)

@@ -1,0 +1,12 @@
+"""Shared utilities: seeding, validation helpers, and lightweight logging."""
+
+from repro.utils.seeding import rng_from_seed, spawn_rngs
+from repro.utils.validation import check_positive, check_probability, check_square_matrix
+
+__all__ = [
+    "rng_from_seed",
+    "spawn_rngs",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+]

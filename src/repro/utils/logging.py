@@ -1,0 +1,56 @@
+"""A tiny structured logger for training and experiment runs.
+
+The harness needs tabular progress output (timestep, episode reward, loss
+terms) without pulling in an external dependency; :class:`RunLogger` keeps
+rows in memory for the experiment reports and optionally echoes them.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+
+class RunLogger:
+    """Accumulates rows of named scalars and pretty-prints progress.
+
+    Parameters
+    ----------
+    echo:
+        When true, each :meth:`log` call prints a single aligned line.
+    stream:
+        Output stream, defaults to stdout.
+    """
+
+    def __init__(self, echo: bool = False, stream: Optional[TextIO] = None):
+        self.echo = echo
+        self.stream = stream or sys.stdout
+        self.rows: list[dict[str, Any]] = []
+        self._start = time.perf_counter()
+
+    def log(self, **fields: Any) -> None:
+        """Record one row of scalars; adds wall-clock ``elapsed`` seconds."""
+        row = {"elapsed": round(time.perf_counter() - self._start, 3)}
+        row.update(fields)
+        self.rows.append(row)
+        if self.echo:
+            line = "  ".join(f"{k}={_fmt(v)}" for k, v in row.items())
+            print(line, file=self.stream)
+
+    def column(self, name: str) -> list:
+        """Return every logged value of ``name`` (rows missing it skipped)."""
+        return [row[name] for row in self.rows if name in row]
+
+    def last(self, name: str, default: Any = None) -> Any:
+        """Return the most recent value of ``name``."""
+        for row in reversed(self.rows):
+            if name in row:
+                return row[name]
+        return default
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

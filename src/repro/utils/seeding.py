@@ -1,0 +1,35 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the repository (traffic generators, weight
+initialisation, PPO sampling, graph modification) takes an explicit
+:class:`numpy.random.Generator`.  These helpers build generators from integer
+seeds and derive independent child streams, so a single experiment seed fully
+determines a run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def rng_from_seed(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an int, an existing generator (returned unchanged), or ``None``
+    for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    return [np.random.default_rng(child) for child in root.spawn(count)]

@@ -1,0 +1,72 @@
+"""Shared test utilities: numerical gradient checking and tiny fixtures."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.graphs.network import Network
+from repro.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, epsilon: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        f_plus = fn(x)
+        flat[i] = original - epsilon
+        f_minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradient(
+    build: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> None:
+    """Assert analytic and numerical gradients of ``build(x).sum()`` agree.
+
+    ``build`` maps a Tensor to a Tensor; the scalar objective is the sum of
+    its elements.
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = build(tensor).sum()
+    out.backward()
+    analytic = tensor.grad
+
+    def objective(arr: np.ndarray) -> float:
+        return float(build(Tensor(arr)).sum().numpy())
+
+    numeric = numerical_gradient(objective, x.copy())
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def triangle_network(capacity: float = 10.0) -> Network:
+    """Bidirected 3-cycle: the smallest network with path diversity."""
+    return Network.from_undirected(3, [(0, 1), (1, 2), (0, 2)], capacity, name="triangle")
+
+
+def square_network(capacity: float = 10.0) -> Network:
+    """Bidirected 4-cycle plus one diagonal — two distinct path lengths."""
+    return Network.from_undirected(
+        4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], capacity, name="square"
+    )
+
+
+def line_network(num_nodes: int = 4, capacity: float = 10.0) -> Network:
+    """A bidirected path graph — unique routes, good for exact assertions."""
+    links = [(i, i + 1) for i in range(num_nodes - 1)]
+    return Network.from_undirected(num_nodes, links, capacity, name=f"line-{num_nodes}")

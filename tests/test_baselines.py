@@ -1,0 +1,131 @@
+"""Tests for predict-then-optimise baselines and alternative translations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CyclicPredictor,
+    HistoryMeanPredictor,
+    LastValuePredictor,
+    prediction_based_routing,
+)
+from repro.flows.lp import solve_optimal_max_utilisation
+from repro.flows.simulator import max_link_utilisation, utilisation_ratio
+from repro.graphs import abilene
+from repro.routing.proportional import capacity_proportional_routing, inverse_weight_routing
+from repro.routing.strategy import validate_routing
+from repro.traffic import cyclical_sequence
+
+
+@pytest.fixture(scope="module")
+def workload():
+    net = abilene()
+    seq = cyclical_sequence(net.num_nodes, 20, 4, seed=0)
+    return net, seq
+
+
+class TestPredictors:
+    def test_last_value(self, workload):
+        _, seq = workload
+        history = seq.history(6, 3)
+        np.testing.assert_array_equal(LastValuePredictor().predict(history), seq.matrix(6))
+
+    def test_history_mean(self, workload):
+        _, seq = workload
+        history = seq.history(6, 3)
+        np.testing.assert_allclose(
+            HistoryMeanPredictor().predict(history), history.mean(axis=0)
+        )
+
+    def test_cyclic_predictor_is_exact_on_cyclical_sequence(self, workload):
+        _, seq = workload
+        # Period 4, memory 4: the DM 4 steps ago equals the *next* DM.
+        history = seq.history(7, 4)
+        forecast = CyclicPredictor(cycle_length=4).predict(history)
+        np.testing.assert_array_equal(forecast, seq.matrix(8))
+
+    def test_cyclic_predictor_degrades_to_last_value(self, workload):
+        _, seq = workload
+        history = seq.history(6, 2)  # window shorter than period
+        forecast = CyclicPredictor(cycle_length=4).predict(history)
+        np.testing.assert_array_equal(forecast, seq.matrix(6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CyclicPredictor(0)
+        with pytest.raises(ValueError, match="memory"):
+            LastValuePredictor().predict(np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="at least one"):
+            LastValuePredictor().predict(np.zeros((0, 3, 3)))
+
+
+class TestPredictionBasedRouting:
+    def test_perfect_prediction_achieves_optimum(self, workload):
+        """The paper's premise: with perfect future knowledge the MCF
+        solution is optimal.  The cyclic predictor on a cyclical sequence
+        is a perfect forecast."""
+        net, seq = workload
+        history = seq.history(7, 4)
+        routing = prediction_based_routing(net, history, CyclicPredictor(4))
+        true_dm = seq.matrix(8)
+        optimal = solve_optimal_max_utilisation(net, true_dm).max_utilisation
+        achieved = max_link_utilisation(net, routing, true_dm)
+        assert achieved == pytest.approx(optimal, rel=1e-5)
+
+    def test_wrong_prediction_is_suboptimal_but_valid(self, workload):
+        net, seq = workload
+        history = seq.history(7, 3)  # window misses the period
+        routing = prediction_based_routing(net, history, HistoryMeanPredictor())
+        ratio = utilisation_ratio(net, routing, seq.matrix(8))
+        assert ratio >= 1.0 - 1e-6
+        for t in range(net.num_nodes):
+            validate_routing(routing, 0 if t else 1, t)
+
+    def test_zero_history_falls_back_to_uniform(self, workload):
+        net, _ = workload
+        history = np.zeros((3, net.num_nodes, net.num_nodes))
+        routing = prediction_based_routing(net, history, LastValuePredictor())
+        dm = np.ones((net.num_nodes, net.num_nodes)) - np.eye(net.num_nodes)
+        assert utilisation_ratio(net, routing, dm) >= 1.0 - 1e-6
+
+
+class TestProportionalTranslations:
+    def test_inverse_weight_routing_valid(self, workload):
+        net, seq = workload
+        weights = np.random.default_rng(0).uniform(0.2, 5.0, net.num_edges)
+        routing = inverse_weight_routing(net, weights)
+        for s in range(net.num_nodes):
+            for t in range(net.num_nodes):
+                if s != t:
+                    validate_routing(routing, s, t)
+
+    def test_inverse_weight_prefers_cheap_edges(self):
+        from repro.graphs import Network
+
+        net = Network.from_undirected(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        weights = np.ones(net.num_edges)
+        weights[net.edge_index[(0, 1)]] = 4.0  # same DAG, pricier branch
+        routing = inverse_weight_routing(net, weights)
+        vector = routing.ratios(0, 2)
+        assert vector[net.edge_index[(0, 3)]] > vector[net.edge_index[(0, 1)]]
+
+    def test_capacity_proportional_valid_and_tracks_capacity(self, workload):
+        net, seq = workload
+        routing = capacity_proportional_routing(net)
+        for s in range(net.num_nodes):
+            for t in range(net.num_nodes):
+                if s != t:
+                    validate_routing(routing, s, t)
+        ratio = utilisation_ratio(net, routing, seq.matrix(5))
+        assert np.isfinite(ratio) and ratio >= 1.0 - 1e-6
+
+    def test_translations_comparable_to_softmin(self, workload):
+        """All translations on uniform weights should land in the same league."""
+        from repro.routing.softmin import softmin_routing
+
+        net, seq = workload
+        weights = np.ones(net.num_edges)
+        dm = seq.matrix(5)
+        u_soft = max_link_utilisation(net, softmin_routing(net, weights, gamma=2.0), dm)
+        u_inv = max_link_utilisation(net, inverse_weight_routing(net, weights), dm)
+        assert u_inv <= 2.0 * u_soft

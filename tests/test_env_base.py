@@ -1,0 +1,75 @@
+"""Tests for the Env base class and GraphsTuple validation edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.graphs_tuple import GraphsTuple
+from repro.rl.env import Env
+from repro.tensor import Tensor
+from tests.helpers import triangle_network
+
+
+class TestEnvBase:
+    def test_abstract_methods_raise(self):
+        env = Env()
+        with pytest.raises(NotImplementedError):
+            env.reset()
+        with pytest.raises(NotImplementedError):
+            env.step(None)
+
+    def test_seed_installs_generator(self):
+        env = Env()
+        env.seed(3)
+        assert isinstance(env._rng, np.random.Generator)
+
+    def test_close_is_noop(self):
+        Env().close()
+
+
+class TestGraphsTupleValidation:
+    def _valid_kwargs(self):
+        net = triangle_network()
+        return dict(
+            nodes=Tensor(np.zeros((3, 2))),
+            edges=Tensor(np.zeros((net.num_edges, 1))),
+            globals_=Tensor(np.zeros((1, 1))),
+            senders=net.senders,
+            receivers=net.receivers,
+            node_graph_ids=np.zeros(3, dtype=np.int64),
+            edge_graph_ids=np.zeros(net.num_edges, dtype=np.int64),
+            num_graphs=1,
+        )
+
+    def test_valid_construction(self):
+        g = GraphsTuple(**self._valid_kwargs())
+        assert g.num_nodes == 3
+
+    def test_rejects_1d_attributes(self):
+        kwargs = self._valid_kwargs()
+        kwargs["nodes"] = Tensor(np.zeros(3))
+        with pytest.raises(ValueError, match="2-D"):
+            GraphsTuple(**kwargs)
+
+    def test_rejects_globals_count_mismatch(self):
+        kwargs = self._valid_kwargs()
+        kwargs["globals_"] = Tensor(np.zeros((2, 1)))
+        with pytest.raises(ValueError, match="graphs"):
+            GraphsTuple(**kwargs)
+
+    def test_rejects_sender_misalignment(self):
+        kwargs = self._valid_kwargs()
+        kwargs["senders"] = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError, match="senders"):
+            GraphsTuple(**kwargs)
+
+    def test_rejects_node_id_misalignment(self):
+        kwargs = self._valid_kwargs()
+        kwargs["node_graph_ids"] = np.zeros(5, dtype=np.int64)
+        with pytest.raises(ValueError, match="node_graph_ids"):
+            GraphsTuple(**kwargs)
+
+    def test_rejects_edge_id_misalignment(self):
+        kwargs = self._valid_kwargs()
+        kwargs["edge_graph_ids"] = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError, match="edge_graph_ids"):
+            GraphsTuple(**kwargs)

@@ -1,0 +1,246 @@
+"""Tests for the routing environments (one-shot, iterative, multigraph)."""
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    GraphObservation,
+    IterativeRoutingEnv,
+    MultiGraphRoutingEnv,
+    RewardComputer,
+    RoutingEnv,
+    gamma_from_action,
+    weights_from_action,
+)
+from repro.envs.routing_env import demand_normaliser
+from repro.graphs import abilene, random_connected_network
+from repro.traffic import cyclical_sequence
+from tests.helpers import triangle_network
+
+
+def sequences_for(net, count=2, length=8, cycle=4, seed=0):
+    return [
+        cyclical_sequence(net.num_nodes, length, cycle, seed=seed + i) for i in range(count)
+    ]
+
+
+class TestActionMappings:
+    def test_weights_positive_and_monotonic(self):
+        w = weights_from_action(np.array([-1.0, 0.0, 1.0]), scale=3.0)
+        assert np.all(w > 0.0)
+        assert w[0] < w[1] < w[2]
+        assert w[1] == pytest.approx(1.0)
+
+    def test_weights_clip_out_of_range(self):
+        w = weights_from_action(np.array([-100.0, 100.0]), scale=2.0)
+        assert w[0] == pytest.approx(np.exp(-2.0))
+        assert w[1] == pytest.approx(np.exp(2.0))
+
+    def test_gamma_squash_range(self):
+        assert gamma_from_action(-100.0) == pytest.approx(0.5, abs=1e-6)
+        assert gamma_from_action(100.0) == pytest.approx(10.0, abs=1e-6)
+        mid = gamma_from_action(0.0)
+        assert 0.5 < mid < 10.0
+
+    def test_gamma_range_validation(self):
+        with pytest.raises(ValueError):
+            gamma_from_action(0.0, gamma_range=(2.0, 1.0))
+
+    def test_demand_normaliser_positive(self):
+        net = triangle_network()
+        seqs = sequences_for(net)
+        assert demand_normaliser(seqs) > 0.0
+
+
+class TestRoutingEnv:
+    def _env(self, **kwargs):
+        net = abilene()
+        defaults = dict(memory_length=3, seed=0, sample_sequences=False)
+        defaults.update(kwargs)
+        return RoutingEnv(net, sequences_for(net), **defaults)
+
+    def test_reset_returns_observation(self):
+        env = self._env()
+        obs = env.reset()
+        assert isinstance(obs, GraphObservation)
+        assert obs.history.shape == (3, 11, 11)
+        assert obs.network is env.network
+
+    def test_observation_normalised(self):
+        env = self._env()
+        obs = env.reset()
+        assert obs.history.max() < 10.0  # raw demands are in the hundreds
+
+    def test_episode_length(self):
+        env = self._env()
+        assert env.episode_length == 8 - 3
+        env.reset()
+        steps = 0
+        done = False
+        while not done:
+            _, _, done, _ = env.step(np.zeros(env.network.num_edges))
+            steps += 1
+        assert steps == env.episode_length
+
+    def test_reward_is_negative_ratio(self):
+        env = self._env()
+        env.reset()
+        _, reward, _, info = env.step(np.zeros(env.network.num_edges))
+        assert reward == pytest.approx(-info["utilisation_ratio"])
+        assert info["utilisation_ratio"] >= 1.0 - 1e-6
+
+    def test_step_before_reset_raises(self):
+        env = self._env()
+        with pytest.raises(RuntimeError, match="reset"):
+            env.step(np.zeros(env.network.num_edges))
+
+    def test_wrong_action_shape_rejected(self):
+        env = self._env()
+        env.reset()
+        with pytest.raises(ValueError, match="shape"):
+            env.step(np.zeros(3))
+
+    def test_round_robin_sequence_selection(self):
+        env = self._env(sample_sequences=False)
+        first = env.reset()
+        # Exhaust episode 1, then episode 2 must use the other sequence.
+        done = False
+        while not done:
+            _, _, done, _ = env.step(np.zeros(env.network.num_edges))
+        second = env.reset()
+        assert not np.array_equal(first.history, second.history)
+
+    def test_better_actions_get_better_reward(self):
+        """Uniform weights (≈ ECMP) must beat adversarial random weights."""
+        env = self._env()
+        env.reset()
+        _, reward_uniform, _, _ = env.step(np.zeros(env.network.num_edges))
+        env2 = self._env()
+        env2.reset()
+        rng = np.random.default_rng(5)
+        _, reward_random, _, _ = env2.step(rng.uniform(-1, 1, env2.network.num_edges))
+        assert reward_uniform >= reward_random - 0.5  # sanity: same scale
+        assert reward_uniform <= 0.0 and reward_random <= 0.0
+
+    def test_validation(self):
+        net = abilene()
+        with pytest.raises(ValueError, match="at least one"):
+            RoutingEnv(net, [])
+        short = cyclical_sequence(net.num_nodes, 3, 3, seed=0)
+        with pytest.raises(ValueError, match="too short"):
+            RoutingEnv(net, [short], memory_length=5)
+        wrong_size = cyclical_sequence(5, 8, 4, seed=0)
+        with pytest.raises(ValueError, match="does not match"):
+            RoutingEnv(net, [wrong_size])
+        with pytest.raises(ValueError, match="softmin_gamma"):
+            RoutingEnv(net, sequences_for(net), softmin_gamma=0.0)
+
+
+class TestIterativeRoutingEnv:
+    def _env(self, **kwargs):
+        net = triangle_network()
+        defaults = dict(memory_length=2, seed=0, sample_sequences=False)
+        defaults.update(kwargs)
+        return IterativeRoutingEnv(net, sequences_for(net, length=6, cycle=3), **defaults)
+
+    def test_edge_markers_walk_edges(self):
+        env = self._env()
+        obs = env.reset()
+        m = env.network.num_edges
+        assert obs.edge_state.shape == (m, 3)
+        assert obs.edge_state[0, 2] == 1.0  # first target
+        obs, reward, done, info = env.step(np.array([0.5, 0.0]))
+        assert reward == 0.0 and not done
+        assert obs.edge_state[0, 1] == 1.0  # set flag recorded
+        assert obs.edge_state[0, 0] == pytest.approx(0.5)
+        assert obs.edge_state[1, 2] == 1.0  # next target
+
+    def test_reward_on_final_edge_only(self):
+        env = self._env()
+        env.reset()
+        m = env.network.num_edges
+        rewards = []
+        for _ in range(m):
+            _, reward, _, info = env.step(np.array([0.0, 0.0]))
+            rewards.append(reward)
+        assert all(r == 0.0 for r in rewards[:-1])
+        assert rewards[-1] < 0.0
+        assert "softmin_gamma" in info
+
+    def test_episode_length_formula(self):
+        env = self._env()
+        env.reset()
+        expected = env.episode_length
+        steps = 0
+        done = False
+        while not done:
+            _, _, done, _ = env.step(np.zeros(2))
+            steps += 1
+        assert steps == expected == (6 - 2) * env.network.num_edges
+
+    def test_weight_clipped_to_unit_interval(self):
+        env = self._env()
+        env.reset()
+        obs, _, _, _ = env.step(np.array([5.0, 0.0]))
+        assert obs.edge_state[0, 0] == pytest.approx(1.0)
+
+    def test_action_shape_validation(self):
+        env = self._env()
+        env.reset()
+        with pytest.raises(ValueError, match="shape"):
+            env.step(np.zeros(3))
+
+    def test_marker_state_resets_between_matrices(self):
+        env = self._env()
+        env.reset()
+        m = env.network.num_edges
+        for _ in range(m):
+            obs, _, _, _ = env.step(np.array([0.7, 0.0]))
+        # After the DM boundary, edge state must be cleared.
+        assert obs.edge_state[:, 1].sum() == 0.0
+        assert obs.edge_state[0, 2] == 1.0
+
+
+class TestMultiGraphRoutingEnv:
+    def _pairs(self, seed=0):
+        nets = [abilene(), random_connected_network(7, 4, seed=seed)]
+        return [(n, sequences_for(n, seed=seed + i)) for i, n in enumerate(nets)]
+
+    def test_episodes_sample_topologies(self):
+        env = MultiGraphRoutingEnv(self._pairs(), memory_length=3, seed=1)
+        sizes = set()
+        for _ in range(10):
+            obs = env.reset()
+            sizes.add(obs.network.num_nodes)
+        assert sizes == {11, 7}
+
+    def test_current_network_tracks_episode(self):
+        env = MultiGraphRoutingEnv(self._pairs(), memory_length=3, seed=2)
+        obs = env.reset()
+        assert env.current_network is obs.network
+
+    def test_step_requires_reset(self):
+        env = MultiGraphRoutingEnv(self._pairs(), memory_length=3, seed=0)
+        with pytest.raises(RuntimeError):
+            env.step(np.zeros(4))
+
+    def test_iterative_inner_envs(self):
+        env = MultiGraphRoutingEnv(self._pairs(), iterative=True, memory_length=3, seed=3)
+        obs = env.reset()
+        assert obs.edge_state is not None
+        assert env.action_space.shape == (2,)
+        _, reward, _, _ = env.step(np.zeros(2))
+        assert reward == 0.0
+
+    def test_networks_property(self):
+        env = MultiGraphRoutingEnv(self._pairs(), memory_length=3, seed=0)
+        assert len(env.networks) == 2
+
+    def test_requires_pairs(self):
+        with pytest.raises(ValueError):
+            MultiGraphRoutingEnv([])
+
+    def test_shared_reward_computer(self):
+        rewarder = RewardComputer()
+        env = MultiGraphRoutingEnv(self._pairs(), reward_computer=rewarder, memory_length=3, seed=0)
+        assert all(inner.rewarder is rewarder for inner in env.inner_envs)

@@ -1,0 +1,79 @@
+"""Tests for the average-utilisation objective (§IX-A extension)."""
+
+import numpy as np
+import pytest
+
+from repro.flows import (
+    average_link_utilisation,
+    solve_optimal_average_utilisation,
+    solve_optimal_max_utilisation,
+)
+from repro.graphs import abilene
+from repro.routing import ecmp_routing, shortest_path_routing, softmin_routing
+from repro.traffic import bimodal_matrix
+from tests.helpers import line_network, square_network, triangle_network
+
+
+def dm_single(n, s, t, d):
+    dm = np.zeros((n, n))
+    dm[s, t] = d
+    return dm
+
+
+class TestAverageUtilisationLP:
+    def test_line_graph_exact_value(self):
+        # 0->3 on a 4-node line, cap 10, demand 5: three forward links at
+        # 0.5 utilisation each, 6 directed links total -> mean 0.25.
+        net = line_network(4, capacity=10.0)
+        result = solve_optimal_average_utilisation(net, dm_single(4, 0, 3, 5.0))
+        assert result.max_utilisation == pytest.approx(3 * 0.5 / 6)
+
+    def test_optimum_uses_shortest_route(self):
+        # Average objective prefers the 1-hop direct edge over any detour.
+        net = triangle_network(capacity=10.0)
+        result = solve_optimal_average_utilisation(net, dm_single(3, 0, 2, 6.0))
+        direct = net.edge_index[(0, 2)]
+        assert result.edge_flows[direct] == pytest.approx(6.0)
+
+    def test_zero_demand(self):
+        assert solve_optimal_average_utilisation(triangle_network(), np.zeros((3, 3))).is_zero
+
+    def test_shortest_path_achieves_average_optimum_on_uniform_caps(self):
+        # With unit hop-weights and uniform capacities, hop-count shortest
+        # paths minimise total (hence average) utilisation.
+        net = abilene()
+        dm = bimodal_matrix(net.num_nodes, seed=0)
+        optimal = solve_optimal_average_utilisation(net, dm).max_utilisation
+        achieved = average_link_utilisation(net, shortest_path_routing(net), dm)
+        assert achieved == pytest.approx(optimal, rel=1e-6)
+
+    def test_average_lower_bounds_every_routing(self):
+        net = square_network(capacity=50.0)
+        dm = bimodal_matrix(4, seed=1, low_mean=5.0, high_mean=9.0, std=1.0)
+        optimal = solve_optimal_average_utilisation(net, dm).max_utilisation
+        for routing in (
+            ecmp_routing(net),
+            softmin_routing(net, np.ones(net.num_edges), gamma=1.0),
+        ):
+            assert average_link_utilisation(net, routing, dm) >= optimal - 1e-9
+
+    def test_objectives_trade_off(self):
+        """Max-optimal routing spreads flow, so its average exceeds the
+        average-optimal; and vice versa for the bottleneck."""
+        net = square_network(capacity=10.0)
+        dm = dm_single(4, 0, 2, 9.0)
+        avg_opt = solve_optimal_average_utilisation(net, dm).max_utilisation
+        max_opt = solve_optimal_max_utilisation(net, dm).max_utilisation
+        # Single direct path: average = 0.9/10 edges... computed directly:
+        direct_only_avg = (9.0 / 10.0) / net.num_edges
+        assert avg_opt == pytest.approx(direct_only_avg, rel=1e-6)
+        assert max_opt == pytest.approx(0.3, rel=1e-6)  # split across 3 paths
+
+
+class TestAverageUtilisationSimulator:
+    def test_matches_manual_mean(self):
+        net = line_network(3, capacity=10.0)
+        routing = shortest_path_routing(net)
+        avg = average_link_utilisation(net, routing, dm_single(3, 0, 2, 4.0))
+        # Two loaded links at 0.4 of capacity, 4 directed links.
+        assert avg == pytest.approx(2 * 0.4 / 4)

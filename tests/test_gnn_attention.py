@@ -1,0 +1,136 @@
+"""Tests for segment softmax and GAT-style attention aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import EncodeProcessDecode, GNBlock, batch_graphs
+from repro.tensor import Tensor, segment_softmax
+from repro.tensor.nn import MLP
+from tests.helpers import check_gradient, line_network, square_network, triangle_network
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self):
+        values = Tensor(np.array([[1.0], [2.0], [3.0], [4.0], [5.0]]))
+        ids = np.array([0, 0, 1, 1, 1])
+        out = segment_softmax(values, ids, 2).numpy().ravel()
+        assert out[:2].sum() == pytest.approx(1.0)
+        assert out[2:].sum() == pytest.approx(1.0)
+
+    def test_matches_dense_softmax_per_segment(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(6, 1))
+        ids = np.array([0, 1, 0, 1, 0, 1])
+        out = segment_softmax(Tensor(values), ids, 2).numpy().ravel()
+        for segment in (0, 1):
+            members = values.ravel()[ids == segment]
+            expected = np.exp(members) / np.exp(members).sum()
+            np.testing.assert_allclose(out[ids == segment], expected, rtol=1e-10)
+
+    def test_singleton_segment_is_one(self):
+        out = segment_softmax(Tensor([[7.0]]), [0], 1).numpy()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_stable_for_large_scores(self):
+        out = segment_softmax(Tensor([[1000.0], [1000.0]]), [0, 0], 1).numpy()
+        np.testing.assert_allclose(out.ravel(), [0.5, 0.5])
+
+    def test_gradient(self):
+        ids = np.array([0, 0, 1, 1])
+        mult = Tensor(np.random.default_rng(1).normal(size=(4, 1)))
+        check_gradient(
+            lambda t: segment_softmax(t, ids, 2) * mult,
+            np.random.default_rng(2).normal(size=(4, 1)),
+        )
+
+
+class TestAttentionGNBlock:
+    def _block(self, reducer):
+        return GNBlock.build(
+            edge_in=1, node_in=2, global_in=1,
+            rng=np.random.default_rng(0), hidden=8, out=4, reducer=reducer,
+        )
+
+    def _graph(self, nets=None, seed=0):
+        nets = nets or [square_network()]
+        rng = np.random.default_rng(seed)
+        return batch_graphs(
+            nets,
+            node_features=[rng.normal(size=(n.num_nodes, 2)) for n in nets],
+            edge_features=[rng.normal(size=(n.num_edges, 1)) for n in nets],
+            global_features=[np.zeros(1) for _ in nets],
+        )
+
+    def test_output_shapes_match_sum_reducer(self):
+        g = self._graph()
+        out_att = self._block("attention")(g)
+        out_sum = self._block("sum")(g)
+        assert out_att.nodes.shape == out_sum.nodes.shape
+        assert out_att.globals_.shape == out_sum.globals_.shape
+
+    def test_attention_differs_from_sum(self):
+        g = self._graph(seed=3)
+        att = self._block("attention")(g).nodes.numpy()
+        sm = self._block("sum")(g).nodes.numpy()
+        assert not np.allclose(att, sm)
+
+    def test_attention_requires_model(self):
+        mlp = MLP([4, 4], np.random.default_rng(0))
+        with pytest.raises(ValueError, match="attention_model"):
+            GNBlock(mlp, mlp, mlp, reducer="attention")
+
+    def test_gradients_reach_attention_parameters(self):
+        block = self._block("attention")
+        out = block(self._graph())
+        out.nodes.sum().backward()
+        assert block.attention_model.weight.grad is not None
+
+    def test_attention_batch_independence(self):
+        a, b = triangle_network(), line_network(5)
+
+        def features(net, seed):
+            rng = np.random.default_rng(seed)
+            return (
+                rng.normal(size=(net.num_nodes, 2)),
+                rng.normal(size=(net.num_edges, 1)),
+            )
+
+        na, ea = features(a, 1)
+        nb, eb = features(b, 2)
+        block = self._block("attention")
+        together = block(
+            batch_graphs([a, b], node_features=[na, nb], edge_features=[ea, eb])
+        )
+        alone = block(batch_graphs([a], node_features=[na], edge_features=[ea]))
+        np.testing.assert_allclose(
+            together.nodes.numpy()[: a.num_nodes], alone.nodes.numpy(), atol=1e-10
+        )
+
+    def test_encode_process_decode_with_attention(self):
+        model = EncodeProcessDecode(
+            node_in=2, edge_in=1, global_in=1, edge_out=1, global_out=1,
+            rng=np.random.default_rng(1), latent=8, hidden=8,
+            num_processing_steps=2, reducer="attention",
+        )
+        g = self._graph()
+        edge_out, global_out = model(g)
+        assert edge_out.shape == (g.num_edges, 1)
+        (edge_out.sum() + global_out.sum()).backward()
+        assert all(p.grad is not None for p in model.core.attention_model.parameters())
+
+
+class TestAttentionPolicy:
+    def test_gnn_policy_trains_with_attention(self):
+        """End-to-end: an attention-aggregation GNN policy through PPO."""
+        from repro import GNNPolicy, PPO, PPOConfig, RoutingEnv, abilene, cyclical_sequence
+
+        net = abilene()
+        seqs = [cyclical_sequence(net.num_nodes, 8, 4, seed=0)]
+        env = RoutingEnv(net, seqs, memory_length=3, seed=0)
+        policy = GNNPolicy(
+            memory_length=3, latent=4, hidden=8, num_processing_steps=1,
+            reducer="attention", seed=0,
+        )
+        ppo = PPO(policy, env, PPOConfig(n_steps=16, batch_size=8, n_epochs=1), seed=0)
+        ppo.learn(16)
+        assert ppo.num_timesteps == 16

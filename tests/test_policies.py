@@ -1,0 +1,234 @@
+"""Tests for the three agent policies, including generalisation properties."""
+
+import numpy as np
+import pytest
+
+from repro.envs.observation import GraphObservation
+from repro.graphs import abilene, nsfnet, random_modification
+from repro.policies import GNNPolicy, IterativeGNNPolicy, MLPPolicy
+from repro.tensor import Tensor
+from tests.helpers import square_network, triangle_network
+
+RNG = np.random.default_rng(33)
+
+
+def observation_for(net, memory=3, seed=0, with_edge_state=False, target_edge=0):
+    rng = np.random.default_rng(seed)
+    history = rng.uniform(0.0, 1.0, size=(memory, net.num_nodes, net.num_nodes))
+    for k in range(memory):
+        np.fill_diagonal(history[k], 0.0)
+    edge_state = None
+    if with_edge_state:
+        edge_state = np.zeros((net.num_edges, 3))
+        edge_state[target_edge, 2] = 1.0
+    return GraphObservation(net, history, edge_state=edge_state)
+
+
+class TestGraphObservation:
+    def test_validation(self):
+        net = triangle_network()
+        with pytest.raises(ValueError, match="memory"):
+            GraphObservation(net, np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="nodes"):
+            GraphObservation(net, np.zeros((2, 5, 5)))
+        with pytest.raises(ValueError, match="edge_state"):
+            GraphObservation(net, np.zeros((2, 3, 3)), edge_state=np.zeros((2, 3)))
+
+    def test_flat_concatenates(self):
+        net = triangle_network()
+        obs = observation_for(net, memory=2, with_edge_state=True)
+        assert obs.flat().shape == (2 * 9 + net.num_edges * 3,)
+
+    def test_node_demand_features_shape_and_values(self):
+        net = triangle_network()
+        obs = observation_for(net, memory=2, seed=1)
+        feats = obs.node_demand_features()
+        assert feats.shape == (3, 4)
+        # First memory column = outgoing sums of history step 0.
+        np.testing.assert_allclose(feats[:, 0], obs.history[0].sum(axis=1))
+        # Memory-th column = incoming sums of history step 0.
+        np.testing.assert_allclose(feats[:, 2], obs.history[0].sum(axis=0))
+
+    def test_edge_features_default_zero(self):
+        net = triangle_network()
+        obs = observation_for(net, memory=2)
+        assert obs.edge_features().shape == (net.num_edges, 1)
+
+
+class TestMLPPolicy:
+    def test_act_shapes(self):
+        net = abilene()
+        policy = MLPPolicy(net.num_nodes, net.num_edges, memory_length=3, seed=0)
+        obs = observation_for(net)
+        action, log_prob, value = policy.act(obs, RNG)
+        assert action.shape == (net.num_edges,)
+        assert isinstance(log_prob, float)
+        assert isinstance(value, float)
+
+    def test_deterministic_act_is_mean(self):
+        net = abilene()
+        policy = MLPPolicy(net.num_nodes, net.num_edges, memory_length=3, seed=0)
+        obs = observation_for(net)
+        a1, _, _ = policy.act(obs, RNG, deterministic=True)
+        a2, _, _ = policy.act(obs, RNG, deterministic=True)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_rejects_wrong_topology(self):
+        net = abilene()
+        policy = MLPPolicy(net.num_nodes, net.num_edges, memory_length=3, seed=0)
+        other = observation_for(nsfnet())
+        with pytest.raises(ValueError, match="fixed-size"):
+            policy.act(other, RNG)
+
+    def test_evaluate_matches_per_sample(self):
+        net = triangle_network()
+        policy = MLPPolicy(net.num_nodes, net.num_edges, memory_length=2, seed=1)
+        observations = [observation_for(net, memory=2, seed=i) for i in range(4)]
+        actions = [RNG.normal(size=net.num_edges) for _ in range(4)]
+        log_probs, values, entropies = policy.evaluate(observations, actions)
+        assert log_probs.shape == (4,)
+        for i in range(4):
+            mean, value = policy.action_mean_and_value(observations[i])
+            expected_lp = policy.distribution.log_prob_value(mean.numpy(), actions[i])
+            assert log_probs.numpy()[i] == pytest.approx(expected_lp)
+            assert values.numpy()[i] == pytest.approx(float(value.numpy()))
+
+    def test_evaluate_gradients_flow(self):
+        net = triangle_network()
+        policy = MLPPolicy(net.num_nodes, net.num_edges, memory_length=2, seed=1)
+        observations = [observation_for(net, memory=2, seed=i) for i in range(3)]
+        actions = [RNG.normal(size=net.num_edges) for _ in range(3)]
+        log_probs, values, _ = policy.evaluate(observations, actions)
+        (log_probs.sum() + values.sum()).backward()
+        assert all(p.grad is not None for p in policy.pi.parameters())
+        assert all(p.grad is not None for p in policy.vf.parameters())
+
+    def test_distribution_parameter_included(self):
+        net = triangle_network()
+        policy = MLPPolicy(net.num_nodes, net.num_edges, memory_length=2)
+        params = list(policy.parameters())
+        assert any(p is policy.distribution.log_std for p in params)
+
+    def test_accepts_flat_array_observation(self):
+        net = triangle_network()
+        policy = MLPPolicy(net.num_nodes, net.num_edges, memory_length=2, seed=0)
+        flat = np.zeros(2 * 9)
+        action, _, _ = policy.act(flat, RNG)
+        assert action.shape == (net.num_edges,)
+
+
+class TestGNNPolicy:
+    def test_action_size_follows_topology(self):
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, num_processing_steps=2, seed=0)
+        for net in (triangle_network(), abilene(), nsfnet()):
+            action, _, _ = policy.act(observation_for(net), RNG)
+            assert action.shape == (net.num_edges,)
+
+    def test_same_parameters_across_topologies(self):
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, num_processing_steps=2, seed=0)
+        count = policy.num_parameters()
+        policy.act(observation_for(abilene()), RNG)
+        policy.act(observation_for(nsfnet()), RNG)
+        assert policy.num_parameters() == count
+
+    def test_rejects_non_graph_observation(self):
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        with pytest.raises(TypeError, match="GraphObservation"):
+            policy.act(np.zeros(10), RNG)
+
+    def test_rejects_memory_mismatch(self):
+        policy = GNNPolicy(memory_length=5, latent=8, hidden=8, seed=0)
+        with pytest.raises(ValueError, match="memory"):
+            policy.act(observation_for(triangle_network(), memory=3), RNG)
+
+    def test_evaluate_mixed_topologies(self):
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, num_processing_steps=2, seed=0)
+        nets = [triangle_network(), square_network(), abilene()]
+        observations = [observation_for(n, seed=i) for i, n in enumerate(nets)]
+        actions = [RNG.normal(size=n.num_edges) for n in nets]
+        log_probs, values, entropies = policy.evaluate(observations, actions)
+        assert log_probs.shape == (3,)
+        assert values.shape == (3,)
+        # Larger graphs have higher-dimensional actions => larger entropy.
+        ent = entropies.numpy()
+        assert ent[2] > ent[0]
+
+    def test_evaluate_matches_single_forward(self):
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, num_processing_steps=2, seed=0)
+        net = square_network()
+        obs = observation_for(net, seed=5)
+        action = RNG.normal(size=net.num_edges)
+        log_probs, values, _ = policy.evaluate([obs], [action])
+        mean, value = policy.action_mean_and_value(obs)
+        expected = policy.distribution.log_prob_value(mean.numpy(), action)
+        assert log_probs.numpy()[0] == pytest.approx(expected)
+        assert values.numpy()[0] == pytest.approx(float(value.numpy()))
+
+    def test_action_length_mismatch_rejected(self):
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        net = triangle_network()
+        with pytest.raises(ValueError, match="edges"):
+            policy.evaluate([observation_for(net)], [np.zeros(net.num_edges + 1)])
+
+    def test_generalisation_after_modification(self):
+        """Trained-shape-agnostic: the same policy instance must run on a
+        modified topology without any retraining or reconstruction."""
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, num_processing_steps=2, seed=0)
+        base = abilene()
+        modified = random_modification(base, seed=1)
+        a1, _, _ = policy.act(observation_for(base), RNG)
+        a2, _, _ = policy.act(observation_for(modified), RNG)
+        assert a1.shape == (base.num_edges,)
+        assert a2.shape == (modified.num_edges,)
+
+
+class TestIterativeGNNPolicy:
+    def test_fixed_action_dim_across_topologies(self):
+        policy = IterativeGNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        for net in (triangle_network(), abilene()):
+            obs = observation_for(net, with_edge_state=True)
+            action, _, _ = policy.act(obs, RNG)
+            assert action.shape == (2,)
+
+    def test_requires_edge_state(self):
+        policy = IterativeGNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        with pytest.raises(ValueError, match="edge_state"):
+            policy.act(observation_for(triangle_network()), RNG)
+
+    def test_requires_graph_observation(self):
+        policy = IterativeGNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        with pytest.raises(TypeError):
+            policy.act(np.zeros(4), RNG)
+
+    def test_target_edge_changes_output(self):
+        policy = IterativeGNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        net = square_network()
+        a0, _, _ = policy.act(
+            observation_for(net, with_edge_state=True, target_edge=0), RNG, deterministic=True
+        )
+        a1, _, _ = policy.act(
+            observation_for(net, with_edge_state=True, target_edge=3), RNG, deterministic=True
+        )
+        assert not np.allclose(a0, a1)
+
+    def test_evaluate_batch(self):
+        policy = IterativeGNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        nets = [triangle_network(), abilene()]
+        observations = [observation_for(n, with_edge_state=True, seed=i) for i, n in enumerate(nets)]
+        actions = [RNG.normal(size=2) for _ in nets]
+        log_probs, values, entropies = policy.evaluate(observations, actions)
+        assert log_probs.shape == (2,)
+        np.testing.assert_allclose(entropies.numpy()[0], entropies.numpy()[1])
+
+    def test_evaluate_action_shape_check(self):
+        policy = IterativeGNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        obs = observation_for(triangle_network(), with_edge_state=True)
+        with pytest.raises(ValueError, match="action entries"):
+            policy.evaluate([obs], [np.zeros(3)])
+
+    def test_gradients_flow(self):
+        policy = IterativeGNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        obs = observation_for(square_network(), with_edge_state=True)
+        log_probs, values, _ = policy.evaluate([obs], [np.array([0.1, -0.2])])
+        (log_probs.sum() + values.sum()).backward()
+        assert all(p.grad is not None for p in policy.model.parameters())

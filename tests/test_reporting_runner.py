@@ -1,0 +1,100 @@
+"""Tests for result formatting and the CLI runner."""
+
+import pytest
+
+from repro.experiments.evaluate import EvaluationResult
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import Fig7Result, LearningCurve
+from repro.experiments.fig8 import Fig8Result, GeneralisationSetting
+from repro.experiments.reporting import (
+    _bar,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_throughput,
+)
+from repro.experiments.runner import build_parser, main
+from repro.experiments.throughput import ThroughputResult
+
+
+def eval_result(mean):
+    return EvaluationResult((mean,))
+
+
+class TestFormatting:
+    def test_bar_scales_and_clamps(self):
+        assert len(_bar(0.0)) == 0
+        assert len(_bar(2.5)) == 20
+        assert len(_bar(99.0)) == 20  # clamped at maximum
+        assert 0 < len(_bar(1.2)) < 20
+
+    def test_format_fig6_contains_all_rows(self):
+        result = Fig6Result(
+            mlp=eval_result(1.18),
+            gnn=eval_result(1.11),
+            gnn_iterative=eval_result(1.14),
+            shortest_path=eval_result(1.30),
+        )
+        text = format_fig6(result)
+        for token in ("MLP", "GNN", "GNN Iterative", "Shortest path", "1.180", "1.300"):
+            assert token in text
+
+    def test_format_fig7_downsamples(self):
+        curve = LearningCurve("MLP", tuple(range(0, 1000, 10)), tuple([-100.0] * 100))
+        result = Fig7Result(mlp=curve, gnn=LearningCurve("GNN", (1,), (-5.0,)))
+        text = format_fig7(result, points=5)
+        assert text.count("t=") < 100  # downsampled
+        assert "GNN" in text
+
+    def test_format_fig7_empty_curve(self):
+        result = Fig7Result(
+            mlp=LearningCurve("MLP", (), ()), gnn=LearningCurve("GNN", (), ())
+        )
+        assert "no updates" in format_fig7(result)
+
+    def test_format_fig8(self):
+        setting = GeneralisationSetting(
+            label="Graph Modifications",
+            gnn=eval_result(1.2),
+            gnn_iterative=eval_result(1.15),
+            shortest_path=eval_result(1.5),
+        )
+        other = GeneralisationSetting(
+            label="Different Graphs",
+            gnn=eval_result(2.0),
+            gnn_iterative=eval_result(1.8),
+            shortest_path=eval_result(1.6),
+        )
+        text = format_fig8(Fig8Result(modifications=setting, different_graphs=other))
+        assert "Graph Modifications" in text and "Different Graphs" in text
+
+    def test_format_throughput(self):
+        text = format_throughput(ThroughputResult(mlp_fps=70.0, gnn_fps=70.0))
+        assert "70.0 fps" in text
+        assert "1.00x" in text
+
+    def test_learning_curve_final_reward(self):
+        curve = LearningCurve("GNN", (1, 2), (-9.0, -5.0))
+        assert curve.final_reward == -5.0
+
+
+class TestRunnerCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.preset == "quick"
+        assert args.seed == 0
+        assert args.timesteps is None
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_parser_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--preset", "huge"])
+
+    def test_main_runs_throughput_quick(self, capsys):
+        code = main(["throughput", "--preset", "quick", "--timesteps", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fps" in out

@@ -1,0 +1,160 @@
+"""Tests for demand-matrix generators and cyclical sequences."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    DemandSequence,
+    bimodal_matrix,
+    cyclical_sequence,
+    gravity_matrix,
+    sparse_matrix,
+    train_test_sequences,
+    uniform_matrix,
+)
+from repro.traffic.matrices import generate
+
+
+class TestBimodal:
+    def test_shape_and_nonnegativity(self):
+        dm = bimodal_matrix(8, seed=0)
+        assert dm.shape == (8, 8)
+        assert np.all(dm >= 0.0)
+
+    def test_zero_diagonal(self):
+        dm = bimodal_matrix(8, seed=1)
+        np.testing.assert_allclose(np.diag(dm), 0.0)
+
+    def test_two_modes_present(self):
+        dm = bimodal_matrix(40, seed=2)
+        off_diag = dm[~np.eye(40, dtype=bool)]
+        # ~80% light mode near 400, ~20% heavy near 800.
+        light = np.mean(off_diag < 600.0)
+        assert 0.7 < light < 0.9
+        assert off_diag.max() > 600.0
+
+    def test_elephant_probability_extremes(self):
+        all_light = bimodal_matrix(20, seed=3, elephant_probability=0.0)
+        off = all_light[~np.eye(20, dtype=bool)]
+        assert off.mean() == pytest.approx(400.0, rel=0.1)
+        all_heavy = bimodal_matrix(20, seed=3, elephant_probability=1.0)
+        off = all_heavy[~np.eye(20, dtype=bool)]
+        assert off.mean() == pytest.approx(800.0, rel=0.1)
+
+    def test_deterministic_under_seed(self):
+        np.testing.assert_array_equal(bimodal_matrix(6, seed=5), bimodal_matrix(6, seed=5))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            bimodal_matrix(5, low_mean=-1.0)
+        with pytest.raises(ValueError):
+            bimodal_matrix(5, elephant_probability=1.5)
+
+
+class TestOtherModels:
+    def test_gravity_total_demand(self):
+        dm = gravity_matrix(10, seed=0, total_demand=5000.0)
+        assert dm.sum() == pytest.approx(5000.0)
+        np.testing.assert_allclose(np.diag(dm), 0.0)
+
+    def test_gravity_proportionality(self):
+        # Entries factorise: D_ij * D_kl == D_il * D_kj for distinct i,j,k,l.
+        dm = gravity_matrix(6, seed=1)
+        assert dm[0, 1] * dm[2, 3] == pytest.approx(dm[0, 3] * dm[2, 1], rel=1e-9)
+
+    def test_uniform_bounds(self):
+        dm = uniform_matrix(8, seed=2, low=10.0, high=20.0)
+        off = dm[~np.eye(8, dtype=bool)]
+        assert np.all((off >= 10.0) & (off <= 20.0))
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_matrix(5, low=5.0, high=1.0)
+
+    def test_sparse_density(self):
+        dm = sparse_matrix(30, seed=3, density=0.2)
+        off = dm[~np.eye(30, dtype=bool)]
+        active = np.mean(off > 0.0)
+        assert 0.1 < active < 0.3
+
+    def test_generate_dispatch(self):
+        dm = generate("gravity", 5, seed=0)
+        assert dm.shape == (5, 5)
+        with pytest.raises(ValueError, match="unknown demand model"):
+            generate("fractal", 5)
+
+
+class TestDemandSequence:
+    def test_validation_shape(self):
+        with pytest.raises(ValueError, match=r"\(T, n, n\)"):
+            DemandSequence(np.zeros((3, 4, 5)))
+
+    def test_validation_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DemandSequence(-np.ones((2, 3, 3)))
+
+    def test_len_and_matrix_access(self):
+        seq = cyclical_sequence(4, length=12, cycle_length=3, seed=0)
+        assert len(seq) == 12
+        assert seq.num_nodes == 4
+        assert seq.matrix(0).shape == (4, 4)
+
+    def test_cyclicality(self):
+        seq = cyclical_sequence(5, length=20, cycle_length=4, seed=1)
+        for i in range(20):
+            np.testing.assert_array_equal(seq.matrix(i), seq.matrix(i % 4))
+
+    def test_distinct_matrices_within_cycle(self):
+        seq = cyclical_sequence(5, length=8, cycle_length=4, seed=2)
+        assert not np.array_equal(seq.matrix(0), seq.matrix(1))
+
+    def test_history_full_window(self):
+        seq = cyclical_sequence(4, length=10, cycle_length=5, seed=3)
+        history = seq.history(6, memory_length=3)
+        assert history.shape == (3, 4, 4)
+        np.testing.assert_array_equal(history[2], seq.matrix(6))
+        np.testing.assert_array_equal(history[0], seq.matrix(4))
+
+    def test_history_pads_before_start(self):
+        seq = cyclical_sequence(4, length=10, cycle_length=5, seed=3)
+        history = seq.history(0, memory_length=3)
+        np.testing.assert_array_equal(history[0], np.zeros((4, 4)))
+        np.testing.assert_array_equal(history[1], np.zeros((4, 4)))
+        np.testing.assert_array_equal(history[2], seq.matrix(0))
+
+    def test_history_invalid_memory(self):
+        seq = cyclical_sequence(4, length=5, cycle_length=5, seed=0)
+        with pytest.raises(ValueError):
+            seq.history(2, memory_length=0)
+
+    def test_total_demand_positive(self):
+        assert cyclical_sequence(4, 5, 5, seed=0).total_demand() > 0.0
+
+    def test_sequence_validation(self):
+        with pytest.raises(ValueError):
+            cyclical_sequence(4, length=0, cycle_length=1)
+        with pytest.raises(ValueError):
+            cyclical_sequence(4, length=5, cycle_length=0)
+
+
+class TestTrainTestSplit:
+    def test_paper_counts(self):
+        train, test = train_test_sequences(6, seed=0, length=12, cycle_length=3)
+        assert len(train) == 7
+        assert len(test) == 3
+
+    def test_sequences_are_distinct(self):
+        train, test = train_test_sequences(
+            6, num_train=2, num_test=1, length=6, cycle_length=3, seed=0
+        )
+        assert not np.array_equal(train[0].demands, train[1].demands)
+        assert not np.array_equal(train[0].demands, test[0].demands)
+
+    def test_deterministic_under_seed(self):
+        a_train, _ = train_test_sequences(5, num_train=2, num_test=1, length=4, cycle_length=2, seed=9)
+        b_train, _ = train_test_sequences(5, num_train=2, num_test=1, length=4, cycle_length=2, seed=9)
+        np.testing.assert_array_equal(a_train[0].demands, b_train[0].demands)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_test_sequences(5, num_train=0)

@@ -1,0 +1,144 @@
+"""Tests for the hyperparameter-tuning substrate."""
+
+import numpy as np
+import pytest
+
+from repro.tuning import (
+    Choice,
+    IntRange,
+    LogUniform,
+    RandomSearchTuner,
+    SearchSpace,
+    Uniform,
+    successive_halving,
+)
+
+
+class TestParameterSpaces:
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        p = Uniform(2.0, 3.0)
+        assert all(2.0 <= p.sample(rng) <= 3.0 for _ in range(100))
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 2.0)
+
+    def test_log_uniform_spans_decades(self):
+        rng = np.random.default_rng(1)
+        p = LogUniform(1e-5, 1e-1)
+        samples = [p.sample(rng) for _ in range(500)]
+        assert min(samples) < 1e-4
+        assert max(samples) > 1e-2
+
+    def test_log_uniform_validation(self):
+        with pytest.raises(ValueError):
+            LogUniform(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LogUniform(2.0, 1.0)
+
+    def test_int_range_inclusive(self):
+        rng = np.random.default_rng(2)
+        p = IntRange(1, 3)
+        values = {p.sample(rng) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_int_range_validation(self):
+        with pytest.raises(ValueError):
+            IntRange(5, 2)
+
+    def test_choice(self):
+        rng = np.random.default_rng(3)
+        p = Choice(["a", "b"])
+        assert {p.sample(rng) for _ in range(100)} == {"a", "b"}
+
+    def test_choice_validation(self):
+        with pytest.raises(ValueError):
+            Choice([])
+
+    def test_search_space_sample(self):
+        space = SearchSpace(lr=LogUniform(1e-4, 1e-2), width=Choice([16, 32]))
+        config = space.sample(np.random.default_rng(0))
+        assert set(config) == {"lr", "width"}
+        assert space.names() == ["lr", "width"]
+
+    def test_search_space_validation(self):
+        with pytest.raises(ValueError):
+            SearchSpace()
+        with pytest.raises(TypeError):
+            SearchSpace(lr=0.1)
+
+
+class TestRandomSearch:
+    def test_finds_good_configuration(self):
+        space = SearchSpace(x=Uniform(-2.0, 2.0))
+
+        def objective(config, budget):
+            return -(config["x"] - 1.0) ** 2
+
+        tuner = RandomSearchTuner(space, objective, seed=0)
+        best = tuner.run(100)
+        assert best.config["x"] == pytest.approx(1.0, abs=0.2)
+        assert len(tuner.trials) == 100
+
+    def test_best_requires_trials(self):
+        tuner = RandomSearchTuner(SearchSpace(x=Uniform(0, 1)), lambda c, b: 0.0)
+        with pytest.raises(RuntimeError):
+            tuner.best()
+
+    def test_num_trials_validation(self):
+        tuner = RandomSearchTuner(SearchSpace(x=Uniform(0, 1)), lambda c, b: 0.0)
+        with pytest.raises(ValueError):
+            tuner.run(0)
+
+    def test_budget_passed_to_objective(self):
+        budgets = []
+
+        def objective(config, budget):
+            budgets.append(budget)
+            return 0.0
+
+        RandomSearchTuner(SearchSpace(x=Uniform(0, 1)), objective, budget=7, seed=0).run(3)
+        assert budgets == [7, 7, 7]
+
+
+class TestSuccessiveHalving:
+    def test_budget_grows_and_survivor_returned(self):
+        space = SearchSpace(x=Uniform(-1.0, 1.0))
+        calls = []
+
+        def objective(config, budget):
+            calls.append(budget)
+            return -abs(config["x"])
+
+        result = successive_halving(space, objective, num_configs=8, min_budget=2, eta=2, seed=1)
+        assert result.budget == 2 * 2 ** 3  # 8 -> 4 -> 2 -> 1 survivors
+        assert calls[:8] == [2] * 8
+        assert abs(result.config["x"]) < 0.5
+
+    def test_validation(self):
+        space = SearchSpace(x=Uniform(0, 1))
+        with pytest.raises(ValueError):
+            successive_halving(space, lambda c, b: 0.0, num_configs=1)
+        with pytest.raises(ValueError):
+            successive_halving(space, lambda c, b: 0.0, eta=1)
+
+    def test_integration_with_ppo_objective(self):
+        """Tune PPO's learning rate on the tiny target env (smoke test)."""
+        from tests.test_rl_ppo import TargetEnv, TinyPolicy
+        from repro.rl.ppo import PPO, PPOConfig
+
+        space = SearchSpace(learning_rate=LogUniform(1e-4, 1e-2))
+
+        def objective(config, budget):
+            env = TargetEnv()
+            policy = TinyPolicy(seed=0)
+            cfg = PPOConfig(
+                n_steps=16, batch_size=8, n_epochs=1, learning_rate=config["learning_rate"]
+            )
+            ppo = PPO(policy, env, cfg, seed=0)
+            ppo.learn(budget * 16)
+            return ppo.stats.recent_mean_reward()
+
+        best = RandomSearchTuner(space, objective, budget=2, seed=0).run(2)
+        assert 1e-4 <= best.config["learning_rate"] <= 1e-2

@@ -1,0 +1,90 @@
+"""Tests for seeding, validation and logging utilities."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import RunLogger
+from repro.utils.seeding import rng_from_seed, spawn_rngs
+from repro.utils.validation import check_positive, check_probability, check_square_matrix
+
+
+class TestSeeding:
+    def test_int_seed_deterministic(self):
+        a = rng_from_seed(42).random(5)
+        b = rng_from_seed(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passed_through(self):
+        gen = np.random.default_rng(0)
+        assert rng_from_seed(gen) is gen
+
+    def test_none_gives_fresh_entropy(self):
+        a = rng_from_seed(None).random()
+        b = rng_from_seed(None).random()
+        assert a != b  # astronomically unlikely to collide
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(7, 3)
+        assert len(streams) == 3
+        draws = [s.random(4).tolist() for s in streams]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_deterministic(self):
+        a = spawn_rngs(7, 2)[0].random(3)
+        b = spawn_rngs(7, 2)[0].random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2) == 2.0
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0.0)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        assert check_probability("p", 0.0) == 0.0
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability("p", 1.2)
+
+    def test_check_square_matrix(self):
+        out = check_square_matrix("m", [[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        with pytest.raises(ValueError, match="square"):
+            check_square_matrix("m", np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            check_square_matrix("m", np.zeros(4))
+
+
+class TestRunLogger:
+    def test_rows_accumulate(self):
+        logger = RunLogger()
+        logger.log(a=1, b=2.0)
+        logger.log(a=3)
+        assert len(logger.rows) == 2
+        assert logger.column("a") == [1, 3]
+        assert logger.column("b") == [2.0]
+
+    def test_last_with_default(self):
+        logger = RunLogger()
+        assert logger.last("missing", default=-1) == -1
+        logger.log(x=5)
+        logger.log(y=6)
+        assert logger.last("x") == 5
+
+    def test_elapsed_recorded(self):
+        logger = RunLogger()
+        logger.log(x=1)
+        assert logger.rows[0]["elapsed"] >= 0.0
+
+    def test_echo_prints_line(self):
+        stream = io.StringIO()
+        logger = RunLogger(echo=True, stream=stream)
+        logger.log(loss=0.12345)
+        assert "loss=0.1235" in stream.getvalue()  # %.4g rounding
