@@ -14,12 +14,15 @@ of the reproduction:
 import numpy as np
 import pytest
 
-from repro.envs.reward import RewardComputer
 from repro.flows.lp import solve_mcf_per_pair, solve_optimal_max_utilisation
 from repro.flows.simulator import max_link_utilisation
 from repro.graphs import abilene
 from repro.routing.softmin import softmin_routing
 from repro.traffic import bimodal_matrix, cyclical_sequence
+
+# Full experiment runs: excluded from tier-1 (see pyproject addopts);
+# run with `pytest benchmarks -m ''` or the nightly benchmark workflow.
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

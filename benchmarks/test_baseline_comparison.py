@@ -28,6 +28,10 @@ from repro.routing import (
 )
 from repro.traffic import cyclical_sequence
 
+# Full experiment runs: excluded from tier-1 (see pyproject addopts);
+# run with `pytest benchmarks -m ''` or the nightly benchmark workflow.
+pytestmark = pytest.mark.slow
+
 CYCLE = 5
 MEMORY = 5  # window covers exactly one period -> cyclic predictor is exact
 

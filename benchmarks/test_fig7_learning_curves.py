@@ -13,6 +13,10 @@ from benchmarks.conftest import run_once
 from repro.experiments import fig7
 from repro.experiments.reporting import format_fig7
 
+# Full experiment runs: excluded from tier-1 (see pyproject addopts);
+# run with `pytest benchmarks -m ''` or the nightly benchmark workflow.
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7_learning_curves(benchmark, bench_scale):

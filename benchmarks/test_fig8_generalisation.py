@@ -15,6 +15,10 @@ from benchmarks.conftest import run_once
 from repro.experiments import fig8
 from repro.experiments.reporting import format_fig8
 
+# Full experiment runs: excluded from tier-1 (see pyproject addopts);
+# run with `pytest benchmarks -m ''` or the nightly benchmark workflow.
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_generalisation(benchmark, bench_scale):

@@ -107,3 +107,61 @@ def test_graph_batching(benchmark, setup):
 
     graph = benchmark(build)
     assert graph.num_graphs == 64
+
+
+# ---------------------------------------------------------------------------
+# Batch evaluation engine: scalar reference vs vectorized implementation.
+# ---------------------------------------------------------------------------
+
+def _engine_workload(num_nodes=20, extra_edges=30, seed=0):
+    from repro.graphs.generators import random_connected_network
+    from repro.traffic import uniform_matrix
+
+    net = random_connected_network(num_nodes, extra_edges, seed=seed)
+    weights = np.random.default_rng(seed).uniform(0.3, 3.0, net.num_edges)
+    dm = uniform_matrix(num_nodes, seed=seed, low=1.0, high=1000.0)
+    return net, weights, dm
+
+
+@pytest.mark.benchmark(group="engine")
+def test_scalar_reference_evaluation(benchmark):
+    """Per-destination Python loops: softmin translation + simulation."""
+    net, weights, dm = _engine_workload()
+
+    def scalar():
+        routing = softmin_routing(net, weights, gamma=2.0, vectorized=False)
+        return link_loads(net, routing, dm, vectorized=False)
+
+    loads = benchmark(scalar)
+    assert np.all(np.isfinite(loads))
+
+
+@pytest.mark.benchmark(group="engine")
+def test_batched_engine_evaluation(benchmark):
+    """The vectorized engine on the identical 20-node full-mesh workload."""
+    net, weights, dm = _engine_workload()
+
+    def batched():
+        routing = softmin_routing(net, weights, gamma=2.0)
+        return link_loads(net, routing, dm)
+
+    loads = benchmark(batched)
+    assert np.all(np.isfinite(loads))
+
+
+def test_engine_speedup_meets_target():
+    """Acceptance check: ≥ 5x on a 20-node graph with full demand matrices.
+
+    Runs in tier-1 (it takes well under a second) so the engine can never
+    silently regress to scalar-level performance.
+    """
+    from repro.engine.benchmark import engine_speedup
+
+    # 5 best-of repeats: the margin is ~3x the floor, so only a sustained
+    # scheduler stall across all repeats could flake this on a CI runner.
+    result = engine_speedup(num_nodes=20, extra_edges=30, num_matrices=4, seed=0, repeats=5)
+    assert result.speedup >= 5.0, (
+        f"batch engine only {result.speedup:.1f}x faster than the scalar "
+        f"reference ({result.scalar_seconds * 1e3:.1f} ms vs "
+        f"{result.batched_seconds * 1e3:.1f} ms)"
+    )

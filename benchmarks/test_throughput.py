@@ -14,6 +14,10 @@ from benchmarks.conftest import run_once
 from repro.experiments import throughput
 from repro.experiments.reporting import format_throughput
 
+# Full experiment runs: excluded from tier-1 (see pyproject addopts);
+# run with `pytest benchmarks -m ''` or the nightly benchmark workflow.
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="throughput")
 def test_throughput_parity(benchmark, bench_scale):

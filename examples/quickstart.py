@@ -7,8 +7,6 @@ small GNN agent with PPO and shows it improving on held-out demand.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro import (
     GNNPolicy,
     PPO,
@@ -53,6 +51,9 @@ def main():
     print("\nTraining a GNN agent with PPO (2048 timesteps, a few seconds)...")
     PPO(policy, env, config, seed=2).learn(2048)
 
+    # evaluate_policy is the single-network case of repro.engine's
+    # batch_evaluate, which scores many sequences/topologies in one call on
+    # the vectorized evaluation engine.
     result = evaluate_policy(
         policy, network, test_seqs, memory_length=3, reward_computer=rewarder
     )

@@ -15,6 +15,8 @@ Subpackage map (bottom-up):
 ``repro.traffic``   bimodal/gravity demand matrices, cyclical sequences
 ``repro.flows``     optimal-routing LP oracle + splitting-ratio simulator
 ``repro.routing``   softmin translation, DAG pruning, classical baselines
+``repro.engine``    vectorized batch evaluation engine (all destinations,
+                    many DMs/seeds/topologies per call)
 ``repro.envs``      the GDDR routing environments (one-shot / iterative)
 ``repro.policies``  MLP baseline, one-shot GNN, iterative GNN policies
 ``repro.tuning``    random-search hyperparameter tuner (OpenTuner subst.)
@@ -28,6 +30,7 @@ from repro.graphs import Network, abilene, nsfnet
 from repro.traffic import cyclical_sequence, train_test_sequences
 from repro.flows import solve_optimal_max_utilisation, max_link_utilisation, utilisation_ratio
 from repro.routing import softmin_routing, shortest_path_routing, ecmp_routing
+from repro.engine.evaluate import batch_evaluate, batch_evaluate_routing
 from repro.envs import RoutingEnv, IterativeRoutingEnv, MultiGraphRoutingEnv
 from repro.policies import MLPPolicy, GNNPolicy, IterativeGNNPolicy
 from repro.rl import PPO, PPOConfig
@@ -45,6 +48,8 @@ __all__ = [
     "softmin_routing",
     "shortest_path_routing",
     "ecmp_routing",
+    "batch_evaluate",
+    "batch_evaluate_routing",
     "RoutingEnv",
     "IterativeRoutingEnv",
     "MultiGraphRoutingEnv",

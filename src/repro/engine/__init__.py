@@ -1,0 +1,71 @@
+"""``repro.engine`` — the vectorized batch evaluation engine.
+
+Array-programming replacements for the per-destination Python loops in
+:mod:`repro.routing.softmin` and :mod:`repro.flows.simulator`, plus the
+batch evaluation API built on top of them:
+
+* :mod:`~repro.engine.softmin_batch` — all-destination softmin splitting
+  ratios as one ``(n, e)`` tensor program;
+* :mod:`~repro.engine.simulator_batch` — stacked ``(I - Pᵀ)`` balance
+  systems solved in one batched LAPACK call, with a factorised
+  multi-right-hand-side path for fixed routings over demand sequences;
+* :mod:`~repro.engine.evaluate` — :func:`batch_evaluate` /
+  :func:`batch_evaluate_routing`, evaluating many traffic matrices, seeds
+  and topologies per call;
+* :mod:`~repro.engine.benchmark` — the scalar-vs-batched speedup
+  measurement guarding the engine in CI.
+
+The scalar implementations remain available (``vectorized=False`` on
+``softmin_routing`` / ``link_loads``) as the reference the equivalence
+tests compare against.
+"""
+
+from repro.engine.softmin_batch import (
+    batch_distances_to_targets,
+    batch_prune_by_distance,
+    batch_softmin_ratios,
+)
+from repro.engine.simulator_batch import (
+    RoutingLoopError,
+    destination_link_loads,
+    destination_link_loads_sequence,
+    flow_link_loads,
+)
+
+__all__ = [
+    "batch_distances_to_targets",
+    "batch_prune_by_distance",
+    "batch_softmin_ratios",
+    "RoutingLoopError",
+    "destination_link_loads",
+    "destination_link_loads_sequence",
+    "flow_link_loads",
+    "BatchEvaluationResult",
+    "EvaluationResult",
+    "batch_evaluate",
+    "batch_evaluate_routing",
+    "warm_lp_cache",
+    "EngineBenchmark",
+    "engine_speedup",
+]
+
+_LAZY = {
+    "BatchEvaluationResult": "repro.engine.evaluate",
+    "EvaluationResult": "repro.engine.evaluate",
+    "batch_evaluate": "repro.engine.evaluate",
+    "batch_evaluate_routing": "repro.engine.evaluate",
+    "warm_lp_cache": "repro.engine.evaluate",
+    "EngineBenchmark": "repro.engine.benchmark",
+    "engine_speedup": "repro.engine.benchmark",
+}
+
+
+def __getattr__(name: str):
+    # evaluate/benchmark import the environment layer, which itself imports
+    # the engine's array modules — loading them lazily keeps the package
+    # import acyclic.
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module 'repro.engine' has no attribute {name!r}")

@@ -1,0 +1,96 @@
+"""Scalar-vs-batched timing of the evaluation hot path.
+
+Drives both implementations of the softmin-translate + simulate loop on the
+same workload and reports the wall-clock speedup.  Used by the
+``benchmarks/test_microbench.py`` acceptance check (≥ 5× on a 20-node graph
+with a full demand matrix) and by ``python -m repro.experiments.runner
+bench`` for a human-readable report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.engine.simulator_batch import destination_link_loads_sequence
+from repro.graphs.generators import random_connected_network
+from repro.routing.softmin import softmin_routing
+from repro.traffic.matrices import uniform_matrix
+from repro.utils.seeding import rng_from_seed
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EngineBenchmark:
+    """One scalar-vs-batched measurement of the evaluation loop."""
+
+    num_nodes: int
+    num_edges: int
+    num_matrices: int
+    scalar_seconds: float
+    batched_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_seconds / max(self.batched_seconds, 1e-12)
+
+
+def _evaluate_scalar(network, weights, gamma, demands) -> np.ndarray:
+    from repro.flows.simulator import link_loads
+
+    routing = softmin_routing(network, weights, gamma=gamma, vectorized=False)
+    return np.stack(
+        [link_loads(network, routing, dm, vectorized=False) for dm in demands]
+    )
+
+
+def _evaluate_batched(network, weights, gamma, demands) -> np.ndarray:
+    routing = softmin_routing(network, weights, gamma=gamma)
+    return destination_link_loads_sequence(
+        network, routing.destination_table(), np.stack(demands)
+    )
+
+
+def engine_speedup(
+    num_nodes: int = 20,
+    extra_edges: int = 30,
+    num_matrices: int = 4,
+    gamma: float = 2.0,
+    seed: int = 0,
+    repeats: int = 3,
+) -> EngineBenchmark:
+    """Time the full softmin + simulation evaluation both ways.
+
+    The workload is a random connected ``num_nodes``-node graph carrying
+    ``num_matrices`` full (every-pair-positive) demand matrices.  Each
+    implementation is timed ``repeats`` times and the best run is kept, so
+    one-off scheduler noise does not understate the speedup.
+    """
+    network = random_connected_network(num_nodes, extra_edges, seed=seed)
+    rng = rng_from_seed(seed)
+    weights = rng.uniform(0.3, 3.0, network.num_edges)
+    demands = [
+        uniform_matrix(num_nodes, seed=seed + i, low=1.0, high=1000.0)
+        for i in range(num_matrices)
+    ]
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(network, weights, gamma, demands)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    scalar_loads = _evaluate_scalar(network, weights, gamma, demands)
+    batched_loads = _evaluate_batched(network, weights, gamma, demands)
+    np.testing.assert_allclose(batched_loads, scalar_loads, atol=1e-8)
+
+    return EngineBenchmark(
+        num_nodes=num_nodes,
+        num_edges=network.num_edges,
+        num_matrices=num_matrices,
+        scalar_seconds=best_of(_evaluate_scalar),
+        batched_seconds=best_of(_evaluate_batched),
+    )

@@ -9,6 +9,11 @@ sub-step's γ is used).  Once every edge is set, the routing is translated
 and evaluated exactly like the one-shot environment and the reward is
 delivered on that final sub-step (intermediate sub-steps reward 0).
 
+Because one demand matrix spans ``num_edges`` sub-steps, the normalised
+demand history is computed once per matrix and cached across its sub-steps;
+the translation/simulation on the final sub-step runs on the vectorized
+batch engine via :class:`~repro.envs.reward.RewardComputer`.
+
 The fixed 2-dimensional action is what makes this environment — and the
 policy trained on it — topology-agnostic.
 """
@@ -84,6 +89,8 @@ class IterativeRoutingEnv(Env):
         self._edge_pointer = 0
         self._raw_weights = np.zeros(network.num_edges)
         self._set_flags = np.zeros(network.num_edges)
+        self._history_step: Optional[int] = None
+        self._history: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def _select_sequence(self) -> DemandSequence:
@@ -103,10 +110,15 @@ class IterativeRoutingEnv(Env):
 
     def _observation(self, target_edge: Optional[int]) -> GraphObservation:
         step = min(self._step_index, len(self._sequence))
-        history = self._sequence.history(step - 1, self.memory_length)
+        if self._history_step != step:
+            # One DM spans num_edges sub-steps; normalise its history once.
+            self._history = (
+                self._sequence.history(step - 1, self.memory_length) / self.demand_scale
+            )
+            self._history_step = step
         return GraphObservation(
             self.network,
-            history / self.demand_scale,
+            self._history,
             edge_state=self._edge_state(target_edge),
         )
 
@@ -117,6 +129,8 @@ class IterativeRoutingEnv(Env):
         self._edge_pointer = 0
         self._raw_weights = np.zeros(self.network.num_edges)
         self._set_flags = np.zeros(self.network.num_edges)
+        self._history_step = None
+        self._history = None
         return self._observation(target_edge=0)
 
     def step(self, action: np.ndarray) -> tuple[GraphObservation, float, bool, dict]:

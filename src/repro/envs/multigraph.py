@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
-import numpy as np
 
 from repro.envs.iterative_env import IterativeRoutingEnv
 from repro.envs.reward import RewardComputer

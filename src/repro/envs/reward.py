@@ -4,7 +4,10 @@ The reward (paper Equation 2) is ``-U_agent / U_optimal``: the achieved
 maximum link utilisation of the agent's routing on the new demand matrix,
 normalised by the LP optimum for that matrix.  The optimum depends only on
 (network, DM), so it is memoised — cyclical training sequences revisit the
-same matrices thousands of times.
+same matrices thousands of times.  The numerator side (softmin translation
+and flow simulation) runs on the vectorized batch engine
+(:mod:`repro.engine`), which processes all destinations in one stacked
+array program per step.
 
 Action mappings
 ---------------
@@ -76,12 +79,32 @@ class RewardComputer:
     def utilisation_ratio(
         self, network: Network, routing: RoutingStrategy, demand_matrix: np.ndarray
     ) -> float:
-        """``U_agent / U_optimal`` for one DM (≥ 1 up to LP tolerance)."""
+        """``U_agent / U_optimal`` for one DM (≥ 1 up to LP tolerance).
+
+        An all-zero demand matrix has the defined result 1.0 (zero load is
+        trivially optimal), so sparse traffic sequences evaluate without
+        aborting mid-batch.
+        """
+        if not np.any(np.asarray(demand_matrix) > 0.0):
+            return 1.0
+        achieved = max_link_utilisation(network, routing, demand_matrix)
+        return self.ratio_from_achieved(network, achieved, demand_matrix)
+
+    def ratio_from_achieved(
+        self, network: Network, achieved: float, demand_matrix: np.ndarray
+    ) -> float:
+        """Normalise an already-measured ``U_max`` by the cached LP optimum.
+
+        Shares the zero-demand (ratio 1.0) and zero-optimal (error)
+        semantics with :meth:`utilisation_ratio`, so batched callers that
+        compute utilisations in bulk cannot drift from the scalar path.
+        """
+        if not np.any(np.asarray(demand_matrix) > 0.0):
+            return 1.0
         optimal = self.cache.optimal_max_utilisation(network, demand_matrix)
         if optimal <= 0.0:
-            raise ValueError("reward undefined for a zero demand matrix")
-        achieved = max_link_utilisation(network, routing, demand_matrix)
-        return achieved / optimal
+            raise ValueError("reward undefined for a zero optimal utilisation")
+        return float(achieved) / optimal
 
     def reward(
         self,

@@ -6,6 +6,12 @@ full edge-weight vector; softmin routing translates it; the reward is
 ``-U_agent/U_opt`` measured on the *current* (unseen) demand matrix —
 the agent must exploit the temporal regularity of the cyclical sequences
 to do better than any static routing.
+
+The per-step translate + simulate work runs on the vectorized batch engine
+(all destinations stacked into one tensor program) via
+:class:`~repro.envs.reward.RewardComputer`; for evaluating a trained policy
+over many sequences or topologies in one call, see
+:func:`repro.engine.batch_evaluate`.
 """
 
 from __future__ import annotations

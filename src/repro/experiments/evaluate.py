@@ -5,44 +5,36 @@ held-out test sequences, of the ratio between the achieved max link
 utilisation and the LP optimum for that matrix (Figures 6 and 8 bar
 heights; 1.0 is the optimum, lower is better).  Shortest-path routing
 evaluated the same way gives the dotted baseline.
+
+Both entry points are thin wrappers over the batch evaluation engine
+(:mod:`repro.engine.evaluate`): :func:`evaluate_policy` is the
+single-network case of :func:`repro.engine.batch_evaluate`, and
+:func:`evaluate_shortest_path` rides the factorised fixed-routing path of
+:func:`repro.engine.batch_evaluate_routing`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.envs.iterative_env import IterativeRoutingEnv
+from repro.engine.evaluate import (
+    BatchEvaluationResult,
+    EvaluationResult,
+    batch_evaluate,
+    batch_evaluate_routing,
+)
 from repro.envs.reward import RewardComputer
-from repro.envs.routing_env import RoutingEnv
 from repro.graphs.network import Network
 from repro.routing.shortest_path import shortest_path_routing
 from repro.traffic.sequences import DemandSequence
-from repro.utils.seeding import SeedLike, rng_from_seed
+from repro.utils.seeding import SeedLike
 
-
-@dataclass(frozen=True)
-class EvaluationResult:
-    """Utilisation ratios collected over an evaluation pass."""
-
-    ratios: tuple
-
-    @property
-    def mean(self) -> float:
-        return float(np.mean(self.ratios))
-
-    @property
-    def std(self) -> float:
-        return float(np.std(self.ratios))
-
-    @property
-    def count(self) -> int:
-        return len(self.ratios)
-
-    def __repr__(self) -> str:
-        return f"EvaluationResult(mean={self.mean:.4f}, std={self.std:.4f}, n={self.count})"
+__all__ = [
+    "BatchEvaluationResult",
+    "EvaluationResult",
+    "evaluate_policy",
+    "evaluate_shortest_path",
+]
 
 
 def evaluate_policy(
@@ -61,41 +53,19 @@ def evaluate_policy(
     Builds a round-robin environment matching the training configuration,
     runs ``len(sequences)`` episodes with deterministic (mean) actions and
     collects the per-DM utilisation ratios from the environment's info
-    dicts.
+    dicts.  Single-network wrapper over :func:`repro.engine.batch_evaluate`.
     """
-    rewarder = reward_computer or RewardComputer()
-    if iterative:
-        env = IterativeRoutingEnv(
-            network,
-            sequences,
-            memory_length=memory_length,
-            weight_scale=weight_scale,
-            reward_computer=rewarder,
-            sample_sequences=False,
-            seed=seed,
-        )
-    else:
-        env = RoutingEnv(
-            network,
-            sequences,
-            memory_length=memory_length,
-            softmin_gamma=softmin_gamma,
-            weight_scale=weight_scale,
-            reward_computer=rewarder,
-            sample_sequences=False,
-            seed=seed,
-        )
-    rng = rng_from_seed(seed)
-    ratios: list[float] = []
-    for _ in range(len(sequences)):
-        observation = env.reset()
-        done = False
-        while not done:
-            action, _, _ = policy.act(observation, rng, deterministic=True)
-            observation, _, done, info = env.step(action)
-            if "utilisation_ratio" in info:
-                ratios.append(info["utilisation_ratio"])
-    return EvaluationResult(tuple(ratios))
+    return batch_evaluate(
+        policy,
+        network,
+        sequences,
+        iterative=iterative,
+        memory_length=memory_length,
+        softmin_gamma=softmin_gamma,
+        weight_scale=weight_scale,
+        reward_computer=reward_computer,
+        seed=seed,
+    ).per_network[0]
 
 
 def evaluate_shortest_path(
@@ -108,14 +78,13 @@ def evaluate_shortest_path(
 
     Uses unit-weight single-path shortest-path routing (plain OSPF-style
     forwarding), evaluated on each sequence's post-warmup DMs — the same
-    matrices a policy episode is scored on.
+    matrices a policy episode is scored on.  All DMs are simulated by one
+    factorised multi-right-hand-side solve per destination.
     """
-    rewarder = reward_computer or RewardComputer()
-    routing = shortest_path_routing(network)
-    ratios: list[float] = []
-    for sequence in sequences:
-        for step in range(memory_length, len(sequence)):
-            ratios.append(
-                rewarder.utilisation_ratio(network, routing, sequence.matrix(step))
-            )
-    return EvaluationResult(tuple(ratios))
+    return batch_evaluate_routing(
+        lambda net: shortest_path_routing(net),
+        network,
+        sequences,
+        memory_length=memory_length,
+        reward_computer=reward_computer,
+    ).per_network[0]

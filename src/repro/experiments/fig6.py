@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.engine.evaluate import warm_lp_cache
 from repro.envs.iterative_env import IterativeRoutingEnv
 from repro.envs.reward import RewardComputer
 from repro.envs.routing_env import RoutingEnv
@@ -30,7 +31,6 @@ from repro.policies.mlp import MLPPolicy
 from repro.rl.ppo import PPO, PPOConfig
 from repro.traffic.sequences import train_test_sequences
 from repro.utils.logging import RunLogger
-from repro.utils.seeding import SeedLike
 
 
 @dataclass(frozen=True)
@@ -87,6 +87,9 @@ def run(
         seed=seed,
     )
     rewarder = RewardComputer()
+    # Presolve each distinct cyclical-block DM once so training and
+    # evaluation only ever hit the LP cache.
+    warm_lp_cache(network, train_seqs + test_seqs, rewarder)
 
     def train_one_shot(policy, policy_seed: int, agent: str):
         env = RoutingEnv(

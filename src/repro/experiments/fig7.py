@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.engine.evaluate import warm_lp_cache
 from repro.envs.reward import RewardComputer
 from repro.envs.routing_env import RoutingEnv
 from repro.experiments.config import ExperimentScale, get_preset
@@ -106,6 +107,7 @@ def run(
         seed=seed,
     )
     rewarder = RewardComputer()
+    warm_lp_cache(network, train_seqs, rewarder)
 
     mlp = MLPPolicy(
         network.num_nodes,

@@ -20,14 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.engine.evaluate import batch_evaluate, batch_evaluate_routing
 from repro.envs.multigraph import MultiGraphRoutingEnv
 from repro.envs.reward import RewardComputer
 from repro.experiments.config import ExperimentScale, get_preset
-from repro.experiments.evaluate import (
-    EvaluationResult,
-    evaluate_policy,
-    evaluate_shortest_path,
-)
+from repro.experiments.evaluate import EvaluationResult
 from repro.graphs.generators import different_graphs_pool
 from repro.graphs.modifications import random_modification
 from repro.graphs.network import Network
@@ -35,10 +32,9 @@ from repro.graphs.zoo import abilene
 from repro.policies.gnn import GNNPolicy
 from repro.policies.iterative import IterativeGNNPolicy
 from repro.rl.ppo import PPO, PPOConfig
+from repro.routing.shortest_path import shortest_path_routing
 from repro.traffic.sequences import train_test_sequences
 from repro.utils.logging import RunLogger
-
-import numpy as np
 
 
 @dataclass(frozen=True)
@@ -150,33 +146,47 @@ def _evaluate_setting(
     seed: int,
     rewarder: RewardComputer,
 ) -> GeneralisationSetting:
-    """Mean ratios over every test graph's held-out sequences."""
-    gnn_ratios: list[float] = []
-    iter_ratios: list[float] = []
-    sp_ratios: list[float] = []
-    for i, network in enumerate(test_graphs):
-        sequences = _sequences_for(network, scale, seed + 200 + i, train=False)
-        common = dict(
-            network=network,
-            sequences=sequences,
-            memory_length=scale.memory_length,
-            weight_scale=scale.weight_scale,
-            reward_computer=rewarder,
-        )
-        gnn_ratios.extend(
-            evaluate_policy(gnn, softmin_gamma=scale.softmin_gamma, **common).ratios
-        )
-        iter_ratios.extend(evaluate_policy(iterative, iterative=True, **common).ratios)
-        sp_ratios.extend(
-            evaluate_shortest_path(
-                network, sequences, memory_length=scale.memory_length, reward_computer=rewarder
-            ).ratios
-        )
+    """Mean ratios over every test graph's held-out sequences.
+
+    Each policy is evaluated over all test topologies in one
+    :func:`repro.engine.batch_evaluate` call; the shortest-path baseline
+    takes the factorised fixed-routing path.
+    """
+    test_graphs = list(test_graphs)
+    groups = [
+        _sequences_for(network, scale, seed + 200 + i, train=False)
+        for i, network in enumerate(test_graphs)
+    ]
+    gnn_result = batch_evaluate(
+        gnn,
+        test_graphs,
+        groups,
+        memory_length=scale.memory_length,
+        softmin_gamma=scale.softmin_gamma,
+        weight_scale=scale.weight_scale,
+        reward_computer=rewarder,
+    )
+    iter_result = batch_evaluate(
+        iterative,
+        test_graphs,
+        groups,
+        iterative=True,
+        memory_length=scale.memory_length,
+        weight_scale=scale.weight_scale,
+        reward_computer=rewarder,
+    )
+    sp_result = batch_evaluate_routing(
+        shortest_path_routing,
+        test_graphs,
+        groups,
+        memory_length=scale.memory_length,
+        reward_computer=rewarder,
+    )
     return GeneralisationSetting(
         label=label,
-        gnn=EvaluationResult(tuple(gnn_ratios)),
-        gnn_iterative=EvaluationResult(tuple(iter_ratios)),
-        shortest_path=EvaluationResult(tuple(sp_ratios)),
+        gnn=gnn_result.combined,
+        gnn_iterative=iter_result.combined,
+        shortest_path=sp_result.combined,
     )
 
 

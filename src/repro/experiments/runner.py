@@ -6,7 +6,11 @@ Usage::
     python -m repro.experiments.runner fig7 --preset quick
     python -m repro.experiments.runner fig8 --preset standard
     python -m repro.experiments.runner throughput
+    python -m repro.experiments.runner bench
     python -m repro.experiments.runner all --preset quick
+
+``bench`` times the vectorized batch evaluation engine against the scalar
+reference implementation (no training involved).
 
 ``--timesteps`` overrides the preset's training volume, so the paper
 schedule is ``--preset paper`` (or any preset with ``--timesteps 500000``).
@@ -21,13 +25,14 @@ from dataclasses import replace
 from repro.experiments import fig6, fig7, fig8, throughput
 from repro.experiments.config import PRESETS, get_preset
 from repro.experiments.reporting import (
+    format_engine_bench,
     format_fig6,
     format_fig7,
     format_fig8,
     format_throughput,
 )
 
-EXPERIMENTS = ("fig6", "fig7", "fig8", "throughput", "all")
+EXPERIMENTS = ("fig6", "fig7", "fig8", "throughput", "bench", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +73,10 @@ def main(argv=None) -> int:
             print(format_fig8(fig8.run(scale, seed=args.seed, echo=args.echo)))
         elif name == "throughput":
             print(format_throughput(throughput.run(scale, seed=args.seed)))
+        elif name == "bench":
+            from repro.engine.benchmark import engine_speedup
+
+            print(format_engine_bench(engine_speedup(seed=args.seed)))
         print()
     return 0
 

@@ -14,9 +14,11 @@ the paper's DAG conversion exists to avoid (§VI).  A routing whose loops
 trap flow forever (no leakage to the destination) has a singular system and
 raises :class:`RoutingLoopError`.
 
-Destination-based routings are simulated with one solve per destination
-(all sources aggregated); per-flow routings take one solve per nonzero
-demand entry.
+By default the linear systems are stacked and solved in one batched LAPACK
+call by :mod:`repro.engine.simulator_batch` — all destinations (or all
+flows) at once.  The original one-solve-per-destination scalar path is kept
+behind ``vectorized=False`` as the reference implementation the equivalence
+tests compare against.
 """
 
 from __future__ import annotations
@@ -25,15 +27,23 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine.simulator_batch import (
+    _NEGATIVE_FLOW_TOLERANCE,
+    RoutingLoopError,
+    destination_link_loads,
+    flow_link_loads,
+)
 from repro.graphs.network import Network
 from repro.routing.strategy import DestinationRouting, RoutingStrategy
 from repro.utils.validation import check_square_matrix
 
-_NEGATIVE_FLOW_TOLERANCE = 1e-8
-
-
-class RoutingLoopError(RuntimeError):
-    """The routing recirculates flow forever (a zero-leak loop)."""
+__all__ = [
+    "RoutingLoopError",
+    "link_loads",
+    "average_link_utilisation",
+    "max_link_utilisation",
+    "utilisation_ratio",
+]
 
 
 def _forwarding_matrix(network: Network, ratios: np.ndarray, target: int) -> np.ndarray:
@@ -49,7 +59,7 @@ def _forwarding_matrix(network: Network, ratios: np.ndarray, target: int) -> np.
 def _solve_throughflow(
     network: Network, ratios: np.ndarray, injections: np.ndarray, target: int
 ) -> np.ndarray:
-    """Solve ``(I - Pᵀ) x = b`` for the node throughflow ``x``."""
+    """Solve ``(I - Pᵀ) x = b`` for the node throughflow ``x`` (scalar path)."""
     p = _forwarding_matrix(network, ratios, target)
     system = np.eye(network.num_nodes) - p.T
     try:
@@ -66,24 +76,12 @@ def _solve_throughflow(
     return np.maximum(x, 0.0)
 
 
-def link_loads(
-    network: Network,
-    routing: RoutingStrategy,
-    demand_matrix: np.ndarray,
+def _link_loads_scalar(
+    network: Network, routing: RoutingStrategy, demand: np.ndarray
 ) -> np.ndarray:
-    """Total flow per edge when ``routing`` carries ``demand_matrix``.
-
-    Returns an array aligned with ``network.edges``.
-    """
-    demand = check_square_matrix("demand_matrix", demand_matrix)
-    if demand.shape[0] != network.num_nodes:
-        raise ValueError(
-            f"demand matrix size {demand.shape[0]} does not match network "
-            f"({network.num_nodes} nodes)"
-        )
+    """The original per-destination / per-flow solve loop."""
     loads = np.zeros(network.num_edges)
     senders = network.senders
-
     if isinstance(routing, DestinationRouting) or routing.destination_based:
         for t in range(network.num_nodes):
             injections = demand[:, t].copy()
@@ -105,6 +103,41 @@ def link_loads(
                 x = _solve_throughflow(network, ratios, injections, t)
                 loads += x[senders] * ratios
     return loads
+
+
+def link_loads(
+    network: Network,
+    routing: RoutingStrategy,
+    demand_matrix: np.ndarray,
+    vectorized: bool = True,
+) -> np.ndarray:
+    """Total flow per edge when ``routing`` carries ``demand_matrix``.
+
+    Returns an array aligned with ``network.edges``.  With ``vectorized``
+    (the default) destination-based routings are simulated with one batched
+    solve over all active destinations and per-flow routings with one
+    batched solve over all positive-demand flows; ``vectorized=False``
+    forces the original scalar loop.
+    """
+    demand = check_square_matrix("demand_matrix", demand_matrix)
+    if demand.shape[0] != network.num_nodes:
+        raise ValueError(
+            f"demand matrix size {demand.shape[0]} does not match network "
+            f"({network.num_nodes} nodes)"
+        )
+    if not vectorized:
+        return _link_loads_scalar(network, routing, demand)
+    if isinstance(routing, DestinationRouting):
+        return destination_link_loads(network, routing.destination_table(), demand)
+    if routing.destination_based:
+        return _link_loads_scalar(network, routing, demand)
+    flows = [
+        (s, t, float(demand[s, t]), routing.ratios(s, t))
+        for s in range(network.num_nodes)
+        for t in range(network.num_nodes)
+        if s != t and demand[s, t] > 0.0
+    ]
+    return flow_link_loads(network, flows)
 
 
 def average_link_utilisation(
@@ -136,9 +169,14 @@ def utilisation_ratio(
     """``U_agent / U_optimal`` — the paper's headline metric (≥ 1, lower is better).
 
     Computes the LP optimum on the fly when ``optimal_utilisation`` is not
-    supplied.  Raises ``ValueError`` for an all-zero demand matrix (the
-    ratio is undefined there).
+    supplied.  An all-zero demand matrix has the defined result 1.0 — zero
+    load on every link is trivially optimal — so batch evaluation over
+    sparse traffic sequences never aborts mid-batch.  A non-positive
+    ``optimal_utilisation`` combined with positive demand is inconsistent
+    and raises ``ValueError``.
     """
+    if not np.any(np.asarray(demand_matrix) > 0.0):
+        return 1.0
     if optimal_utilisation is None:
         from repro.flows.lp import solve_optimal_max_utilisation
 
@@ -146,6 +184,6 @@ def utilisation_ratio(
             network, demand_matrix
         ).max_utilisation
     if optimal_utilisation <= 0.0:
-        raise ValueError("utilisation ratio undefined for zero demand")
+        raise ValueError("utilisation ratio undefined for zero optimal utilisation")
     achieved = max_link_utilisation(network, routing, demand_matrix)
     return achieved / optimal_utilisation

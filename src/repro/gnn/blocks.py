@@ -17,7 +17,7 @@ GNN family the paper's §VII-A weighs against the full GN block).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -13,7 +13,7 @@ same small number of matrix multiplies as a single graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -8,7 +8,6 @@ bidirected :class:`~repro.graphs.network.Network`.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import networkx as nx
 import numpy as np

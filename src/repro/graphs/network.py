@@ -18,7 +18,7 @@ al.) treat full-duplex links.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import networkx as nx
 import numpy as np

@@ -17,7 +17,7 @@ entropy) are scalars collected into a batch vector.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ packs a whole minibatch (even of *different* topologies) into one
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

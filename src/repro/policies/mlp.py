@@ -9,7 +9,7 @@ topologies and motivates the GNN policies.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

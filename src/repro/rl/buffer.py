@@ -11,7 +11,7 @@ state following the final stored transition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Sequence
+from typing import Any, Iterator
 
 import numpy as np
 

@@ -11,7 +11,7 @@ the one-shot GNN policy and the iterative GNN policy on any environment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

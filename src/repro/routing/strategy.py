@@ -23,7 +23,7 @@ Two concrete classes cover the use cases:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -125,6 +125,14 @@ class DestinationRouting(RoutingStrategy):
     def destination_ratios(self, target: int) -> np.ndarray:
         """Ratio vector for destination ``target`` (any source)."""
         return self._per_destination[target]
+
+    def destination_table(self) -> np.ndarray:
+        """The full ``(num_nodes, num_edges)`` ratio table.
+
+        Row ``t`` is the vector every flow destined to ``t`` uses; this is
+        the layout the batch engine consumes directly.
+        """
+        return self._per_destination
 
 
 def validate_routing(

@@ -7,7 +7,7 @@ kept for tests and ablations.  Global-norm gradient clipping
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

@@ -8,8 +8,7 @@ step ``i`` is the ``memory_length`` most recent DMs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,10 +10,9 @@ configurations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
-import numpy as np
 
 from repro.tuning.spaces import SearchSpace
 from repro.utils.seeding import SeedLike, rng_from_seed

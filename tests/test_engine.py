@@ -1,0 +1,262 @@
+"""Equivalence and behaviour tests for the vectorized batch engine.
+
+The engine must be a drop-in replacement for the scalar routing/simulation
+pipeline: every test here pins the batched implementations against the
+scalar reference paths (``vectorized=False``) to 1e-8 on random graphs, and
+checks the batch-evaluation API reproduces the environment-driven results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    batch_distances_to_targets,
+    batch_prune_by_distance,
+    batch_softmin_ratios,
+    destination_link_loads,
+    destination_link_loads_sequence,
+    flow_link_loads,
+)
+from repro.engine.evaluate import (
+    BatchEvaluationResult,
+    EvaluationResult,
+    batch_evaluate,
+    batch_evaluate_routing,
+    warm_lp_cache,
+)
+from repro.envs.reward import RewardComputer
+from repro.flows.simulator import RoutingLoopError, link_loads, utilisation_ratio
+from repro.graphs import Network, abilene, random_connected_network
+from repro.policies import GNNPolicy, IterativeGNNPolicy
+from repro.routing.dag import prune_by_distance
+from repro.routing.shortest_path import shortest_path_routing
+from repro.routing.softmin import softmin_routing
+from repro.traffic import bimodal_matrix, cyclical_sequence, sparse_matrix
+from repro.traffic.sequences import DemandSequence
+from tests.helpers import triangle_network
+
+
+def random_case(seed, num_nodes=12, extra_edges=14):
+    net = random_connected_network(num_nodes, extra_edges, seed=seed)
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0.1, 5.0, net.num_edges)
+    return net, weights
+
+
+class TestBatchDistances:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_per_target_dijkstra(self, seed):
+        net, weights = random_case(seed)
+        batched = batch_distances_to_targets(net, weights)
+        for t in range(net.num_nodes):
+            scalar = net.shortest_path_distances(weights, target=t)
+            np.testing.assert_allclose(batched[t], scalar, atol=1e-8)
+
+    def test_unreachable_is_inf(self):
+        net = Network(3, [(0, 1), (1, 2)])  # one-way line: nothing reaches 0
+        distances = batch_distances_to_targets(net, np.ones(2))
+        assert np.isinf(distances[0, 1]) and np.isinf(distances[0, 2])
+        assert distances[2, 0] == pytest.approx(2.0)
+
+
+class TestBatchPrune:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scalar_masks(self, seed):
+        net, weights = random_case(seed)
+        batched = batch_prune_by_distance(net, weights)
+        for t in range(net.num_nodes):
+            np.testing.assert_array_equal(batched[t], prune_by_distance(net, weights, t))
+
+
+class TestBatchSoftmin:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("gamma", [0.0, 0.5, 2.0, 8.0])
+    def test_matches_scalar_table(self, seed, gamma):
+        net, weights = random_case(seed)
+        batched = softmin_routing(net, weights, gamma=gamma)
+        scalar = softmin_routing(net, weights, gamma=gamma, vectorized=False)
+        np.testing.assert_allclose(
+            batched.destination_table(), scalar.destination_table(), atol=1e-8
+        )
+
+    def test_matches_on_abilene(self):
+        net = abilene()
+        weights = np.random.default_rng(11).uniform(0.3, 3.0, net.num_edges)
+        np.testing.assert_allclose(
+            batch_softmin_ratios(net, weights, 2.0),
+            softmin_routing(net, weights, gamma=2.0, vectorized=False).destination_table(),
+            atol=1e-8,
+        )
+
+    def test_rejects_negative_gamma(self):
+        net = triangle_network()
+        with pytest.raises(ValueError, match="gamma"):
+            softmin_routing(net, np.ones(net.num_edges), gamma=-1.0)
+
+
+class TestBatchSimulator:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_destination_loads_match_scalar(self, seed):
+        net, weights = random_case(seed)
+        routing = softmin_routing(net, weights, gamma=2.0)
+        demand = bimodal_matrix(net.num_nodes, seed=seed)
+        np.testing.assert_allclose(
+            link_loads(net, routing, demand),
+            link_loads(net, routing, demand, vectorized=False),
+            atol=1e-8,
+        )
+
+    def test_flow_loads_match_scalar(self):
+        net = abilene()
+        weights = np.random.default_rng(7).uniform(0.3, 3.0, net.num_edges)
+        routing = softmin_routing(net, weights, gamma=2.0, pruner="frontier")
+        demand = sparse_matrix(net.num_nodes, seed=7, density=0.4)
+        np.testing.assert_allclose(
+            link_loads(net, routing, demand),
+            link_loads(net, routing, demand, vectorized=False),
+            atol=1e-8,
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sequence_loads_match_per_step(self, seed):
+        net, weights = random_case(seed)
+        routing = softmin_routing(net, weights, gamma=2.0)
+        demands = np.stack([bimodal_matrix(net.num_nodes, seed=seed + i) for i in range(5)])
+        batched = destination_link_loads_sequence(net, routing.destination_table(), demands)
+        for step in range(demands.shape[0]):
+            np.testing.assert_allclose(
+                batched[step],
+                link_loads(net, routing, demands[step], vectorized=False),
+                atol=1e-8,
+            )
+
+    def test_zero_demand_gives_zero_loads(self):
+        net = triangle_network()
+        table = np.zeros((3, net.num_edges))
+        zeros = np.zeros((3, 3))
+        np.testing.assert_allclose(destination_link_loads(net, table, zeros), 0.0)
+        np.testing.assert_allclose(
+            destination_link_loads_sequence(net, table, np.stack([zeros] * 3)), 0.0
+        )
+        assert flow_link_loads(net, []).shape == (net.num_edges,)
+
+    def test_zero_leak_loop_raises_with_target(self):
+        net = triangle_network()
+        table = np.zeros((3, net.num_edges))
+        table[2, net.edge_index[(0, 1)]] = 1.0
+        table[2, net.edge_index[(1, 0)]] = 1.0
+        demand = np.zeros((3, 3))
+        demand[0, 2] = 1.0
+        with pytest.raises(RoutingLoopError, match="destination 2"):
+            destination_link_loads(net, table, demand)
+
+    def test_unused_looping_destination_is_skipped(self):
+        # The loop sits on destination 2's rows, but only destination 1
+        # carries demand — exactly like the scalar simulator, no error.
+        net = triangle_network()
+        table = np.zeros((3, net.num_edges))
+        table[2, net.edge_index[(0, 1)]] = 1.0
+        table[2, net.edge_index[(1, 0)]] = 1.0
+        table[1, net.edge_index[(0, 1)]] = 1.0
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 4.0
+        loads = destination_link_loads(net, table, demand)
+        assert loads[net.edge_index[(0, 1)]] == pytest.approx(4.0)
+
+
+class TestZeroDemandBehaviour:
+    def test_utilisation_ratio_defined(self):
+        net = triangle_network()
+        routing = softmin_routing(net, np.ones(net.num_edges), gamma=2.0)
+        assert utilisation_ratio(net, routing, np.zeros((3, 3))) == 1.0
+
+    def test_reward_computer_defined(self):
+        net = triangle_network()
+        routing = softmin_routing(net, np.ones(net.num_edges), gamma=2.0)
+        assert RewardComputer().utilisation_ratio(net, routing, np.zeros((3, 3))) == 1.0
+
+    def test_sparse_sequence_with_zero_matrix_does_not_abort(self):
+        net = abilene()
+        n = net.num_nodes
+        demands = np.stack([bimodal_matrix(n, seed=0), np.zeros((n, n)), bimodal_matrix(n, seed=1)])
+        sequence = DemandSequence(demands)
+        result = batch_evaluate_routing(
+            shortest_path_routing, net, [sequence], memory_length=0
+        )
+        assert result.combined.count == 3
+        assert result.combined.ratios[1] == 1.0
+
+
+class TestBatchEvaluate:
+    def _setup(self):
+        net = abilene()
+        seqs = [cyclical_sequence(net.num_nodes, 8, 4, seed=i) for i in range(2)]
+        return net, seqs
+
+    def test_single_network_matches_evaluate_policy(self):
+        from repro.experiments.evaluate import evaluate_policy
+
+        net, seqs = self._setup()
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, num_processing_steps=2, seed=0)
+        direct = evaluate_policy(policy, net, seqs, memory_length=3)
+        batched = batch_evaluate(policy, net, seqs, memory_length=3)
+        assert isinstance(batched, BatchEvaluationResult)
+        assert len(batched.per_network) == 1
+        np.testing.assert_allclose(batched.per_network[0].ratios, direct.ratios, rtol=1e-12)
+
+    def test_many_networks_one_call(self):
+        net_a = abilene()
+        net_b = random_connected_network(8, 8, seed=1)
+        groups = [
+            [cyclical_sequence(net_a.num_nodes, 6, 3, seed=0)],
+            [cyclical_sequence(net_b.num_nodes, 6, 3, seed=1)],
+        ]
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, num_processing_steps=2, seed=0)
+        result = batch_evaluate(policy, [net_a, net_b], groups, memory_length=3)
+        assert len(result.per_network) == 2
+        assert result.combined.count == sum(r.count for r in result.per_network)
+        assert result.mean >= 1.0 - 1e-6
+
+    def test_iterative_policy_supported(self):
+        net, seqs = self._setup()
+        policy = IterativeGNNPolicy(
+            memory_length=3, latent=8, hidden=8, num_processing_steps=2, seed=0
+        )
+        result = batch_evaluate(policy, net, seqs, memory_length=3, iterative=True)
+        assert result.combined.count == 2 * (8 - 3)
+
+    def test_misaligned_groups_rejected(self):
+        net, seqs = self._setup()
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, seed=0)
+        with pytest.raises(ValueError, match="sequence groups"):
+            batch_evaluate(policy, [net, net], [seqs], memory_length=3)
+
+    def test_routing_baseline_matches_env_driven(self):
+        net, seqs = self._setup()
+        rewarder = RewardComputer()
+        batched = batch_evaluate_routing(
+            shortest_path_routing, net, seqs, memory_length=3, reward_computer=rewarder
+        ).per_network[0]
+        routing = shortest_path_routing(net)
+        direct = [
+            rewarder.utilisation_ratio(net, routing, seq.matrix(step))
+            for seq in seqs
+            for step in range(3, len(seq))
+        ]
+        np.testing.assert_allclose(batched.ratios, direct, rtol=1e-8)
+        assert batched.count == 2 * (8 - 3)
+
+    def test_warm_lp_cache_deduplicates(self):
+        net, seqs = self._setup()
+        rewarder = RewardComputer()
+        solved = warm_lp_cache(net, seqs, rewarder, memory_length=3)
+        # cyclical sequences: at most cycle_length distinct DMs each
+        assert 0 < solved <= 2 * 4
+        assert len(rewarder.cache) == solved
+        # a second warm pass performs no new solves
+        assert warm_lp_cache(net, seqs, rewarder, memory_length=3) == solved
+
+    def test_evaluation_result_reexport(self):
+        from repro.experiments.evaluate import EvaluationResult as Reexported
+
+        assert Reexported is EvaluationResult

@@ -14,7 +14,7 @@ from repro.flows.lp import (
     solve_mcf_per_pair,
     solve_optimal_max_utilisation,
 )
-from repro.graphs import Network, abilene, nsfnet, random_connected_network
+from repro.graphs import Network, abilene, random_connected_network
 from repro.traffic import bimodal_matrix, gravity_matrix
 from tests.helpers import line_network, square_network, triangle_network
 

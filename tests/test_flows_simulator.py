@@ -9,7 +9,6 @@ from repro.flows.simulator import (
     max_link_utilisation,
     utilisation_ratio,
 )
-from repro.graphs import Network
 from repro.routing.strategy import DestinationRouting, FlowRouting
 from tests.helpers import line_network, square_network, triangle_network
 
@@ -137,11 +136,21 @@ class TestUtilisation:
         ratio = utilisation_ratio(net, routing, single_flow_dm(3, 0, 2, 10.0))
         assert ratio == pytest.approx(1.0, rel=1e-6)
 
-    def test_utilisation_ratio_rejects_zero_demand(self):
+    def test_utilisation_ratio_zero_demand_is_defined(self):
+        # All-zero demand is trivially optimal: batch evaluation over sparse
+        # traffic sequences must not abort mid-batch.
         net = triangle_network()
         routing = make_flow_routing(net, {})
-        with pytest.raises(ValueError, match="zero demand"):
-            utilisation_ratio(net, routing, np.zeros((3, 3)), optimal_utilisation=0.0)
+        assert utilisation_ratio(net, routing, np.zeros((3, 3))) == 1.0
+        assert utilisation_ratio(net, routing, np.zeros((3, 3)), optimal_utilisation=0.0) == 1.0
+
+    def test_utilisation_ratio_rejects_zero_optimal_with_demand(self):
+        net = triangle_network()
+        ratios = np.zeros(net.num_edges)
+        ratios[net.edge_index[(0, 2)]] = 1.0
+        routing = make_flow_routing(net, {(0, 2): ratios})
+        with pytest.raises(ValueError, match="zero optimal"):
+            utilisation_ratio(net, routing, single_flow_dm(3, 0, 2, 1.0), optimal_utilisation=0.0)
 
     def test_explicit_optimal_is_used(self):
         net = line_network(3, capacity=8.0)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.gnn import EncodeProcessDecode, GNBlock, batch_graphs
-from repro.gnn.graphs_tuple import GraphsTuple
 from repro.tensor import Tensor
 from repro.tensor.nn import MLP
 from tests.helpers import line_network, square_network, triangle_network

@@ -6,7 +6,6 @@ import pytest
 from repro.envs.observation import GraphObservation
 from repro.graphs import abilene, nsfnet, random_modification
 from repro.policies import GNNPolicy, IterativeGNNPolicy, MLPPolicy
-from repro.tensor import Tensor
 from tests.helpers import square_network, triangle_network
 
 RNG = np.random.default_rng(33)
