@@ -20,7 +20,9 @@ Subpackage map (bottom-up):
 ``repro.envs``      the GDDR routing environments (one-shot / iterative)
 ``repro.policies``  MLP baseline, one-shot GNN, iterative GNN policies
 ``repro.tuning``    random-search hyperparameter tuner (OpenTuner subst.)
-``repro.experiments`` per-figure experiment harness
+``repro.api``       declarative scenario layer: registry-backed
+                    ScenarioSpec + run(spec), JSON in/out
+``repro.experiments`` scale presets, CLI runner, legacy figure shims
 ==================  =======================================================
 """
 
@@ -34,8 +36,15 @@ from repro.engine.evaluate import batch_evaluate, batch_evaluate_routing
 from repro.envs import RoutingEnv, IterativeRoutingEnv, MultiGraphRoutingEnv
 from repro.policies import MLPPolicy, GNNPolicy, IterativeGNNPolicy
 from repro.rl import PPO, PPOConfig
+from repro import api
+from repro.api import ScenarioSpec, get_scenario
+from repro.api import run as run_scenario
 
 __all__ = [
+    "api",
+    "ScenarioSpec",
+    "get_scenario",
+    "run_scenario",
     "__version__",
     "Network",
     "abilene",

@@ -1,0 +1,94 @@
+"""``repro.api`` — the declarative scenario layer.
+
+An experiment is a :class:`~repro.api.spec.ScenarioSpec`: five axes
+(topology, traffic, routing, training, evaluation) of plain data, each
+resolving through a string-keyed component registry, serialisable to/from
+JSON and validated eagerly.  :func:`run` executes any spec through the
+vectorized batch-evaluation engine; :mod:`~repro.api.presets` bundles the
+paper's figures and new scenarios as specs.
+
+Quick taste::
+
+    from repro import api
+
+    spec = api.get_scenario("fig6").with_updates({"traffic.model": "gravity"})
+    result = api.run(spec)
+    print(result.rows())
+
+Extend by registration::
+
+    @api.register_traffic("spiky")
+    def spiky(num_nodes, seed=None, spike=5000.0):
+        ...
+
+    api.run(api.ScenarioSpec(name="mine", traffic={"model": "spiky"}))
+"""
+
+from repro.api.registry import (
+    POLICIES,
+    STRATEGIES,
+    TOPOLOGIES,
+    TRAFFIC_MODELS,
+    Registry,
+    UnknownComponentError,
+    register_policy,
+    register_strategy,
+    register_topology,
+    register_traffic,
+    registry_for,
+)
+from repro.api.spec import (
+    KNOWN_METRICS,
+    EvaluationSpec,
+    PolicySpec,
+    RoutingSpec,
+    ScenarioSpec,
+    SpecValidationError,
+    StrategySpec,
+    TopologySpec,
+    TrafficSpec,
+    TrainingSpec,
+)
+from repro.api import components as _components  # populate the registries
+from repro.api.results import EvaluationResult, LearningCurve, ScenarioResult
+from repro.api.runner import run
+from repro.api.presets import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+del _components
+
+__all__ = [
+    "Registry",
+    "UnknownComponentError",
+    "TOPOLOGIES",
+    "TRAFFIC_MODELS",
+    "STRATEGIES",
+    "POLICIES",
+    "register_topology",
+    "register_traffic",
+    "register_strategy",
+    "register_policy",
+    "registry_for",
+    "KNOWN_METRICS",
+    "SpecValidationError",
+    "TopologySpec",
+    "TrafficSpec",
+    "PolicySpec",
+    "StrategySpec",
+    "RoutingSpec",
+    "TrainingSpec",
+    "EvaluationSpec",
+    "ScenarioSpec",
+    "EvaluationResult",
+    "LearningCurve",
+    "ScenarioResult",
+    "run",
+    "SCENARIOS",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]

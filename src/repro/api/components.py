@@ -1,0 +1,311 @@
+"""Built-in component registrations for the scenario API.
+
+Importing this module (which :mod:`repro.api` does on import) populates the
+four registries from the existing layers:
+
+* **topologies** — every embedded zoo topology (:mod:`repro.graphs.zoo`),
+  the random generator families (:mod:`repro.graphs.generators`), and the
+  pool builders used by generalisation scenarios (modification pools,
+  different-graph pools, link-failure sweeps via
+  :mod:`repro.graphs.modifications`);
+* **traffic models** — the demand-matrix generators of
+  :mod:`repro.traffic.matrices`;
+* **strategies** — the fixed-routing baselines of :mod:`repro.routing`;
+* **policies** — the MLP baseline and both GNN policies of
+  :mod:`repro.policies`.
+
+Topology builders return either a single :class:`Network` (fixed-graph
+scenarios) or a ``(train_graphs, test_graphs)`` tuple (generalisation
+scenarios).  Policy factories take ``(networks, scale, seed, **params)``
+where ``networks`` covers every graph the policy must handle; factories for
+iterative policies carry an ``iterative = True`` attribute so the runner
+picks the right environment.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import (
+    register_policy,
+    register_strategy,
+    register_topology,
+    register_traffic,
+)
+from repro.api.spec import SpecValidationError
+from repro.experiments.config import ExperimentScale
+from repro.graphs.generators import (
+    barabasi_albert_network,
+    different_graphs_pool,
+    erdos_renyi_network,
+    random_connected_network,
+    waxman_network,
+)
+from repro.graphs.modifications import random_modification, remove_random_edge
+from repro.graphs.network import DEFAULT_CAPACITY, Network
+from repro.graphs.zoo import TOPOLOGY_NAMES, topology
+from repro.policies.gnn import GNNPolicy
+from repro.policies.iterative import IterativeGNNPolicy
+from repro.policies.mlp import MLPPolicy
+from repro.routing.oblivious import oblivious_routing
+from repro.routing.proportional import capacity_proportional_routing, inverse_weight_routing
+from repro.routing.shortest_path import ecmp_routing, shortest_path_routing
+from repro.traffic.matrices import GENERATORS as _TRAFFIC_GENERATORS
+from repro.utils.seeding import rng_from_seed
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Topologies: embedded zoo members
+# ---------------------------------------------------------------------------
+
+for _name in TOPOLOGY_NAMES:
+
+    def _zoo_builder(capacity: float = DEFAULT_CAPACITY, _name: str = _name) -> Network:
+        return topology(_name, capacity)
+
+    register_topology(
+        _name, _zoo_builder, description=f"embedded zoo topology {_name!r} (repro.graphs.zoo)"
+    )
+
+# ---------------------------------------------------------------------------
+# Topologies: random generator families
+# ---------------------------------------------------------------------------
+
+register_topology(
+    "random",
+    lambda num_nodes=20, extra_edges=10, seed=0, capacity=DEFAULT_CAPACITY: (
+        random_connected_network(num_nodes, extra_edges, seed=seed, capacity=capacity)
+    ),
+    description="random connected graph: spanning tree plus extra_edges chords",
+)
+register_topology(
+    "erdos_renyi",
+    lambda num_nodes=20, edge_probability=0.2, seed=0, capacity=DEFAULT_CAPACITY: (
+        erdos_renyi_network(num_nodes, edge_probability, seed=seed, capacity=capacity)
+    ),
+    description="Erdős–Rényi G(n, p), repaired to be connected",
+)
+register_topology(
+    "barabasi_albert",
+    lambda num_nodes=20, attachment=2, seed=0, capacity=DEFAULT_CAPACITY: (
+        barabasi_albert_network(num_nodes, attachment=attachment, seed=seed, capacity=capacity)
+    ),
+    description="Barabási–Albert preferential attachment (scale-free)",
+)
+register_topology(
+    "waxman",
+    lambda num_nodes=20, alpha=0.6, beta=0.4, seed=0, capacity=DEFAULT_CAPACITY: (
+        waxman_network(num_nodes, alpha=alpha, beta=beta, seed=seed, capacity=capacity)
+    ),
+    description="Waxman random geometric graph (classic ISP model)",
+)
+
+
+# ---------------------------------------------------------------------------
+# Topologies: train/test pool builders (generalisation scenarios)
+# ---------------------------------------------------------------------------
+
+
+@register_topology("modification_pool")
+def modification_pool(
+    base: str = "abilene",
+    num_train: int = 4,
+    num_test: int = 2,
+    seed: int = 0,
+    capacity: float = DEFAULT_CAPACITY,
+) -> tuple[list[Network], list[Network]]:
+    """Paper Fig. 8 'Graph Modifications' pools: base + random ±1–2 changes.
+
+    The train pool is the base topology plus ``num_train - 1`` random
+    modifications (seeds ``seed+10+i``); the test pool is ``num_test``
+    *fresh* modifications (seeds ``seed+900+i``), matching the paper's
+    train/test modification split.
+    """
+    base_net = topology(base, capacity)
+    train = [base_net] + [
+        random_modification(base_net, seed=seed + 10 + i)
+        for i in range(max(1, num_train - 1))
+    ]
+    test = [random_modification(base_net, seed=seed + 900 + i) for i in range(num_test)]
+    return train, test
+
+
+@register_topology("different_graphs")
+def different_graphs(
+    base_nodes: int = 11,
+    num_train: int = 4,
+    num_test: int = 2,
+    seed: int = 0,
+    capacity: float = DEFAULT_CAPACITY,
+) -> tuple[list[Network], list[Network]]:
+    """Paper Fig. 8 'Different Graphs' pools: random 0.5x–2x-sized graphs."""
+    pool = different_graphs_pool(base_nodes, num_train + num_test, seed=seed, capacity=capacity)
+    return pool[:num_train], pool[num_train:]
+
+
+@register_topology("link_failure_sweep")
+def link_failure_sweep(
+    base: str = "abilene",
+    num_failures: int = 3,
+    seed: int = 0,
+    capacity: float = DEFAULT_CAPACITY,
+) -> tuple[list[Network], list[Network]]:
+    """Train on the intact topology, test on it plus single-link-failure variants.
+
+    Each test variant removes one *distinct* random link whose loss keeps
+    the graph connected (``repro.graphs.modifications.remove_random_edge``),
+    so the sweep measures how routing quality degrades under isolated
+    failures; duplicate draws are rejected until ``num_failures`` distinct
+    variants exist.
+    """
+    if num_failures < 1:
+        raise SpecValidationError(
+            f"link_failure_sweep needs num_failures >= 1, got {num_failures}"
+        )
+    base_net = topology(base, capacity)
+    rng = rng_from_seed(seed)
+    failed: list[Network] = []
+    seen: set[frozenset] = set()
+    attempts = 0
+    while len(failed) < num_failures and attempts < 50 * num_failures:
+        attempts += 1
+        candidate = remove_random_edge(base_net, rng)
+        if candidate is None:
+            continue
+        key = frozenset(tuple(edge) for edge in candidate.edges)
+        if key in seen:
+            continue
+        seen.add(key)
+        failed.append(candidate)
+    if len(failed) < num_failures:
+        raise SpecValidationError(
+            f"topology {base!r} does not have {num_failures} distinct removable "
+            "links (removals that disconnect it are excluded); reduce num_failures"
+        )
+    return [base_net], [base_net] + failed
+
+
+# ---------------------------------------------------------------------------
+# Traffic models
+# ---------------------------------------------------------------------------
+
+for _model_name, _generator in sorted(_TRAFFIC_GENERATORS.items()):
+    register_traffic(
+        _model_name,
+        _generator,
+        description=(_generator.__doc__ or "").strip().splitlines()[0],
+    )
+
+# ---------------------------------------------------------------------------
+# Routing strategies (fixed baselines)
+# ---------------------------------------------------------------------------
+
+register_strategy(
+    "shortest_path",
+    lambda network, weights=None: shortest_path_routing(
+        network, None if weights is None else np.asarray(weights, dtype=np.float64)
+    ),
+    description="single next-hop shortest-path forwarding (OSPF-style)",
+)
+register_strategy(
+    "ecmp",
+    lambda network, weights=None: ecmp_routing(
+        network, None if weights is None else np.asarray(weights, dtype=np.float64)
+    ),
+    description="equal-cost multi-path: even split over shortest next hops",
+)
+register_strategy(
+    "oblivious",
+    lambda network: oblivious_routing(network),
+    description="demand-oblivious LP-derived routing (uniform reference demand)",
+)
+register_strategy(
+    "capacity_proportional",
+    lambda network: capacity_proportional_routing(network),
+    description="split proportional to link capacity over the hop-count DAG",
+)
+register_strategy(
+    "inverse_weight",
+    lambda network, weights=None: inverse_weight_routing(
+        network,
+        np.ones(network.num_edges)
+        if weights is None
+        else np.asarray(weights, dtype=np.float64),
+    ),
+    description="split proportional to 1/weight over the shortest-distance DAG",
+)
+
+
+# ---------------------------------------------------------------------------
+# Learned policies
+# ---------------------------------------------------------------------------
+
+
+def _merged(defaults: dict, params: dict) -> dict:
+    merged = dict(defaults)
+    merged.update(params)
+    return merged
+
+
+def _build_mlp(networks: list[Network], scale: ExperimentScale, seed, **params) -> MLPPolicy:
+    """The Valadarsky et al. MLP baseline (fixed input/output sizes)."""
+    shapes = {(net.num_nodes, net.num_edges) for net in networks}
+    if len(shapes) > 1:
+        raise SpecValidationError(
+            "policy 'mlp' has fixed input/output sizes and only supports "
+            f"single-topology scenarios; this scenario spans shapes {sorted(shapes)} "
+            "(nodes, edges) — use 'gnn' or 'gnn_iterative' instead"
+        )
+    network = networks[0]
+    kwargs = _merged(
+        dict(
+            memory_length=scale.memory_length,
+            hidden=tuple(scale.mlp_hidden),
+            seed=seed,
+            initial_log_std=scale.mlp_initial_log_std,
+        ),
+        params,
+    )
+    return MLPPolicy(network.num_nodes, network.num_edges, **kwargs)
+
+
+def _build_gnn(networks: list[Network], scale: ExperimentScale, seed, **params) -> GNNPolicy:
+    """The one-shot GNN policy (paper §VII-A)."""
+    kwargs = _merged(
+        dict(
+            memory_length=scale.memory_length,
+            latent=scale.latent,
+            hidden=scale.hidden,
+            num_processing_steps=scale.num_processing_steps,
+            seed=seed,
+            initial_log_std=scale.gnn_initial_log_std,
+        ),
+        params,
+    )
+    return GNNPolicy(**kwargs)
+
+
+def _build_iterative(
+    networks: list[Network], scale: ExperimentScale, seed, **params
+) -> IterativeGNNPolicy:
+    """The iterative GNN policy (paper §VII-B; one edge set per sub-step)."""
+    kwargs = _merged(
+        dict(
+            memory_length=scale.memory_length,
+            latent=scale.latent,
+            hidden=scale.hidden,
+            num_processing_steps=scale.num_processing_steps,
+            seed=seed,
+            initial_log_std=scale.gnn_initial_log_std,
+        ),
+        params,
+    )
+    return IterativeGNNPolicy(**kwargs)
+
+
+_build_iterative.iterative = True
+
+register_policy("mlp", _build_mlp, description="MLP baseline (fixed topology only)")
+register_policy("gnn", _build_gnn, description="one-shot GNN policy (topology-agnostic)")
+register_policy(
+    "gnn_iterative", _build_iterative, description="iterative GNN policy (one edge per sub-step)"
+)

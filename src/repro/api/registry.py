@@ -1,0 +1,143 @@
+"""String-keyed component registries behind the declarative scenario API.
+
+Every axis of a :class:`~repro.api.spec.ScenarioSpec` resolves through one
+of these registries, so a scenario can name its components as *data* and
+third-party code can plug new components in without touching the runner:
+
+* :data:`TOPOLOGIES` — builders returning a single
+  :class:`~repro.graphs.network.Network` or a ``(train, test)`` graph-pool
+  pair (``@register_topology``);
+* :data:`TRAFFIC_MODELS` — demand-matrix models consumed by
+  :func:`repro.traffic.sequences.cyclical_sequence` (``@register_traffic``);
+* :data:`STRATEGIES` — fixed-routing factories ``network -> RoutingStrategy``
+  (``@register_strategy``);
+* :data:`POLICIES` — learned-policy factories building an untrained policy
+  from ``(networks, scale, seed, params)`` (``@register_policy``).
+
+Unknown keys raise :class:`UnknownComponentError` naming the bad key and
+listing the valid ones — the registries are the single source of truth the
+spec validator and the ``runner list`` CLI both read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+
+class UnknownComponentError(ValueError):
+    """A spec named a component that no registry entry provides."""
+
+    def __init__(self, kind: str, name: str, valid: list[str]):
+        self.kind = kind
+        self.name = name
+        self.valid = valid
+        super().__init__(f"unknown {kind} {name!r}; choose from {valid}")
+
+
+class Registry:
+    """An ordered name -> (builder, description) table for one component axis."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, tuple[Callable, str]] = {}
+
+    def register(self, name: str, builder: Optional[Callable] = None, description: str = ""):
+        """Register ``builder`` under ``name``; usable as a decorator.
+
+        ``description`` defaults to the first line of the builder's docstring
+        and feeds the ``runner list`` CLI.
+        """
+
+        def _add(fn: Callable) -> Callable:
+            key = str(name).lower()
+            if key in self._entries:
+                raise ValueError(f"{self.kind} {key!r} is already registered")
+            doc = description or (fn.__doc__ or "").strip().splitlines()[0:1]
+            self._entries[key] = (fn, doc if isinstance(doc, str) else " ".join(doc))
+            return fn
+
+        if builder is not None:
+            return _add(builder)
+        return _add
+
+    def get(self, name: str) -> Callable:
+        """Resolve ``name`` (case-insensitive) or raise :class:`UnknownComponentError`."""
+        try:
+            return self._entries[str(name).lower()][0]
+        except KeyError:
+            raise UnknownComponentError(self.kind, name, self.names()) from None
+
+    def describe(self, name: str) -> str:
+        self.get(name)  # raise on unknown
+        return self._entries[str(name).lower()][1]
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> list[tuple[str, str]]:
+        """(name, description) rows for the CLI listing."""
+        return [(name, self._entries[name][1]) for name in self.names()]
+
+
+TOPOLOGIES = Registry("topology")
+TRAFFIC_MODELS = Registry("traffic model")
+STRATEGIES = Registry("routing strategy")
+POLICIES = Registry("policy")
+
+
+def register_topology(name: str, builder: Optional[Callable] = None, description: str = ""):
+    """Register a topology builder: ``(**params) -> Network | (train, test) pools``."""
+    return TOPOLOGIES.register(name, builder, description)
+
+
+def register_traffic(name: str, builder: Optional[Callable] = None, description: str = ""):
+    """Register a demand-matrix model: ``(num_nodes, seed=..., **params) -> ndarray``."""
+    return TRAFFIC_MODELS.register(name, builder, description)
+
+
+def register_strategy(name: str, builder: Optional[Callable] = None, description: str = ""):
+    """Register a fixed-routing factory: ``(network, **params) -> RoutingStrategy``."""
+    return STRATEGIES.register(name, builder, description)
+
+
+def register_policy(name: str, builder: Optional[Callable] = None, description: str = ""):
+    """Register a learned-policy factory: ``(networks, scale, seed, **params) -> policy``."""
+    return POLICIES.register(name, builder, description)
+
+
+def registry_for(axis: str) -> Registry:
+    """Map a CLI axis name (``topologies``/``traffic``/...) to its registry."""
+    table: dict[str, Registry] = {
+        "topologies": TOPOLOGIES,
+        "traffic": TRAFFIC_MODELS,
+        "strategies": STRATEGIES,
+        "policies": POLICIES,
+    }
+    try:
+        return table[axis]
+    except KeyError:
+        raise ValueError(f"unknown registry axis {axis!r}; choose from {sorted(table)}") from None
+
+
+__all__ = [
+    "Registry",
+    "UnknownComponentError",
+    "TOPOLOGIES",
+    "TRAFFIC_MODELS",
+    "STRATEGIES",
+    "POLICIES",
+    "register_topology",
+    "register_traffic",
+    "register_strategy",
+    "register_policy",
+    "registry_for",
+]

@@ -1,0 +1,76 @@
+"""Result containers returned by :func:`repro.api.run`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.evaluate import EvaluationResult
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    """One policy's training trajectory (paper Fig. 7 series)."""
+
+    label: str
+    timesteps: tuple
+    mean_episode_rewards: tuple
+
+    @property
+    def final_reward(self) -> float:
+        return self.mean_episode_rewards[-1]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario run produced, keyed by routing-entry label.
+
+    Attributes
+    ----------
+    spec:
+        The (validated) spec that was run.
+    policies / strategies:
+        Mean-max-utilisation-ratio results per learned policy / fixed
+        strategy, pooled over every evaluation seed and test topology.
+        Populated when the spec's metrics include ``utilisation_ratio``.
+    per_seed:
+        ``{seed: {label: EvaluationResult}}`` — the unpooled view behind
+        ``policies``/``strategies`` (policies and strategies share the
+        label namespace, which the spec validator keeps collision-free).
+    curves:
+        ``{label: (LearningCurve, ...)}`` — one curve per evaluation seed.
+        Populated when metrics include ``learning_curve``.
+    throughput:
+        ``{label: fps}`` training throughput (environment steps/second,
+        averaged over the evaluation seeds).  Populated when metrics
+        include ``throughput``.
+    """
+
+    spec: object
+    policies: dict = field(default_factory=dict)
+    strategies: dict = field(default_factory=dict)
+    per_seed: dict = field(default_factory=dict)
+    curves: dict = field(default_factory=dict)
+    throughput: dict = field(default_factory=dict)
+
+    def ratio(self, label: str) -> float:
+        """Mean utilisation ratio for one routing entry (policy or strategy)."""
+        if label in self.policies:
+            return self.policies[label].mean
+        if label in self.strategies:
+            return self.strategies[label].mean
+        known = sorted(self.policies) + sorted(self.strategies)
+        raise KeyError(f"no routing entry {label!r} in this result; have {known}")
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(label, mean ratio) rows in spec order — the figure-table view."""
+        out = []
+        for pspec in self.spec.routing.policies:
+            if pspec.key in self.policies:
+                out.append((pspec.key, self.policies[pspec.key].mean))
+        for sspec in self.spec.routing.strategies:
+            if sspec.key in self.strategies:
+                out.append((sspec.key, self.strategies[sspec.key].mean))
+        return out
+
+
+__all__ = ["EvaluationResult", "LearningCurve", "ScenarioResult"]

@@ -1,0 +1,453 @@
+"""Declarative experiment specifications.
+
+A :class:`ScenarioSpec` describes one experiment as *data*: which topology
+to build, which traffic model to draw demand sequences from, which learned
+policies and fixed routing strategies to compare, how hard to train, and
+how to evaluate.  Every axis resolves through the component registries in
+:mod:`repro.api.registry`, so a spec is fully serialisable — ``to_dict`` /
+``from_dict`` / ``to_json`` / ``from_json`` round-trip losslessly — and a
+JSON file on disk is a complete, runnable experiment
+(``python -m repro.experiments.runner run scenario.json``).
+
+Validation is eager: constructing a spec (or loading one from a dict/JSON)
+checks registry keys, field names, metric names and the training scale
+immediately, raising :class:`SpecValidationError` with an actionable
+message instead of a stack trace from deep inside a builder.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping, Optional
+
+from repro.api.registry import (
+    POLICIES,
+    STRATEGIES,
+    TOPOLOGIES,
+    TRAFFIC_MODELS,
+    UnknownComponentError,
+)
+from repro.experiments.config import ExperimentScale, PRESETS, scale_field_names, scaled
+
+#: Metrics :func:`repro.api.run` knows how to collect.
+KNOWN_METRICS = ("utilisation_ratio", "learning_curve", "throughput")
+
+
+class SpecValidationError(ValueError):
+    """A scenario spec is malformed; the message names the offending field."""
+
+
+def _jsonify(value: Any) -> Any:
+    """Canonicalise nested params so specs compare equal across JSON trips."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    raise SpecValidationError(
+        f"spec parameters must be JSON-serialisable, got {type(value).__name__}: {value!r}"
+    )
+
+
+def _check_params(owner: str, params: Any) -> dict:
+    if not isinstance(params, Mapping):
+        raise SpecValidationError(
+            f"{owner}.params must be a mapping of keyword arguments, got {type(params).__name__}"
+        )
+    return _jsonify(dict(params))
+
+
+def _reject_unknown_keys(cls, data: Mapping, context: str) -> None:
+    valid = [f.name for f in fields(cls)]
+    unknown = sorted(set(data) - set(valid))
+    if unknown:
+        raise SpecValidationError(
+            f"unknown field(s) {unknown} in {context}; valid fields: {valid}"
+        )
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The topology axis: a registry builder name plus its parameters.
+
+    The builder either returns a single network (the fixed-graph case) or a
+    ``(train_graphs, test_graphs)`` pool pair (the generalisation case).
+    """
+
+    name: str = "abilene"
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.name not in TOPOLOGIES:
+            raise UnknownComponentError("topology", self.name, TOPOLOGIES.names())
+        object.__setattr__(self, "name", str(self.name).lower())
+        object.__setattr__(self, "params", _check_params("topology", self.params))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TopologySpec":
+        _reject_unknown_keys(cls, data, "topology")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """The traffic axis: demand-matrix model plus cyclical-sequence shape.
+
+    Sequence fields left as ``None`` fall back to the training scale's
+    values (``sequence_length``, ``cycle_length``, ``num_train_sequences``,
+    ``num_test_sequences``), so the paper presets stay single-sourced.
+    """
+
+    model: str = "bimodal"
+    params: dict = field(default_factory=dict)
+    length: Optional[int] = None
+    cycle_length: Optional[int] = None
+    num_train: Optional[int] = None
+    num_test: Optional[int] = None
+
+    def __post_init__(self):
+        if self.model not in TRAFFIC_MODELS:
+            raise UnknownComponentError("traffic model", self.model, TRAFFIC_MODELS.names())
+        object.__setattr__(self, "model", str(self.model).lower())
+        object.__setattr__(self, "params", _check_params("traffic", self.params))
+        for name in ("length", "cycle_length", "num_train"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise SpecValidationError(f"traffic.{name} must be a positive int, got {value!r}")
+        if self.num_test is not None and (not isinstance(self.num_test, int) or self.num_test < 0):
+            raise SpecValidationError(
+                f"traffic.num_test must be a non-negative int, got {self.num_test!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "params": dict(self.params),
+            "length": self.length,
+            "cycle_length": self.cycle_length,
+            "num_train": self.num_train,
+            "num_test": self.num_test,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TrafficSpec":
+        _reject_unknown_keys(cls, data, "traffic")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One learned policy to train and evaluate.
+
+    ``params`` override the factory's scale-derived constructor arguments;
+    ``ppo`` picks the hyperparameter profile (``"default"`` uses the scale's
+    ``learning_rate``; ``"mlp"`` uses the gentler tuned MLP schedule);
+    ``label`` keys the result dictionaries (defaults to ``name``).
+    """
+
+    name: str = "gnn"
+    params: dict = field(default_factory=dict)
+    ppo: str = "default"
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if self.name not in POLICIES:
+            raise UnknownComponentError("policy", self.name, POLICIES.names())
+        object.__setattr__(self, "name", str(self.name).lower())
+        object.__setattr__(self, "params", _check_params(f"policy {self.name!r}", self.params))
+        if self.ppo not in ("default", "mlp"):
+            raise SpecValidationError(
+                f"policy {self.name!r}: ppo profile must be 'default' or 'mlp', got {self.ppo!r}"
+            )
+
+    @property
+    def key(self) -> str:
+        return self.label or self.name
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params), "ppo": self.ppo, "label": self.label}
+
+    @classmethod
+    def from_dict(cls, data) -> "PolicySpec":
+        if isinstance(data, str):
+            return cls(name=data)
+        _reject_unknown_keys(cls, data, "routing.policies[...]")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """One fixed routing strategy to evaluate as a baseline."""
+
+    name: str = "shortest_path"
+    params: dict = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if self.name not in STRATEGIES:
+            raise UnknownComponentError("routing strategy", self.name, STRATEGIES.names())
+        object.__setattr__(self, "name", str(self.name).lower())
+        object.__setattr__(self, "params", _check_params(f"strategy {self.name!r}", self.params))
+
+    @property
+    def key(self) -> str:
+        return self.label or self.name
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params), "label": self.label}
+
+    @classmethod
+    def from_dict(cls, data) -> "StrategySpec":
+        if isinstance(data, str):
+            return cls(name=data)
+        _reject_unknown_keys(cls, data, "routing.strategies[...]")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RoutingSpec:
+    """The routing axis: learned policies and/or fixed baseline strategies."""
+
+    policies: tuple = ()
+    strategies: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "policies",
+            tuple(p if isinstance(p, PolicySpec) else PolicySpec.from_dict(p) for p in self.policies),
+        )
+        object.__setattr__(
+            self,
+            "strategies",
+            tuple(
+                s if isinstance(s, StrategySpec) else StrategySpec.from_dict(s)
+                for s in self.strategies
+            ),
+        )
+        keys = [p.key for p in self.policies] + [s.key for s in self.strategies]
+        duplicates = sorted({k for k in keys if keys.count(k) > 1})
+        if duplicates:
+            raise SpecValidationError(
+                f"routing entries must have unique labels; duplicated: {duplicates} "
+                "(set 'label' to disambiguate repeated components)"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "policies": [p.to_dict() for p in self.policies],
+            "strategies": [s.to_dict() for s in self.strategies],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RoutingSpec":
+        _reject_unknown_keys(cls, data, "routing")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TrainingSpec:
+    """The training axis: an :class:`ExperimentScale` preset plus overrides."""
+
+    preset: str = "quick"
+    overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.preset not in PRESETS:
+            raise SpecValidationError(
+                f"unknown training preset {self.preset!r}; choose from {sorted(PRESETS)}"
+            )
+        object.__setattr__(self, "overrides", _check_params("training", self.overrides))
+        try:
+            self.scale()
+        except ValueError as exc:
+            raise SpecValidationError(f"invalid training spec: {exc}") from None
+
+    def scale(self) -> ExperimentScale:
+        """Materialise the preset with overrides applied (tuples restored)."""
+        overrides = {
+            k: tuple(v) if isinstance(v, list) else v for k, v in self.overrides.items()
+        }
+        return scaled(self.preset, **overrides)
+
+    def to_dict(self) -> dict:
+        return {"preset": self.preset, "overrides": dict(self.overrides)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TrainingSpec":
+        data = dict(data)
+        # Shorthand: ExperimentScale field names at the top level fold into
+        # overrides, so ``--set training.total_timesteps=256`` just works.
+        scale_fields = set(scale_field_names())
+        folded = {k: data.pop(k) for k in list(data) if k in scale_fields}
+        if folded:
+            merged = dict(data.get("overrides", {}))
+            merged.update(folded)
+            data["overrides"] = merged
+        _reject_unknown_keys(cls, data, "training")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class EvaluationSpec:
+    """The evaluation axis: which metrics to collect and over which seeds."""
+
+    metrics: tuple = ("utilisation_ratio",)
+    seeds: tuple = (0,)
+
+    def __post_init__(self):
+        metrics = tuple(self.metrics)
+        unknown = sorted(set(metrics) - set(KNOWN_METRICS))
+        if unknown:
+            raise SpecValidationError(
+                f"unknown metric(s) {unknown}; choose from {list(KNOWN_METRICS)}"
+            )
+        if not metrics:
+            raise SpecValidationError("evaluation.metrics must name at least one metric")
+        seeds = tuple(self.seeds)
+        if not seeds or not all(isinstance(s, int) for s in seeds):
+            raise SpecValidationError(
+                f"evaluation.seeds must be a non-empty list of ints, got {list(self.seeds)!r}"
+            )
+        object.__setattr__(self, "metrics", metrics)
+        object.__setattr__(self, "seeds", seeds)
+
+    def to_dict(self) -> dict:
+        return {"metrics": list(self.metrics), "seeds": list(self.seeds)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EvaluationSpec":
+        _reject_unknown_keys(cls, data, "evaluation")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative experiment: five axes plus a name.
+
+    Frozen, eagerly validated, and losslessly serialisable: equality is
+    preserved through ``to_dict -> json.dumps -> json.loads -> from_dict``.
+    """
+
+    name: str
+    description: str = ""
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    routing: RoutingSpec = field(default_factory=RoutingSpec)
+    training: TrainingSpec = field(default_factory=TrainingSpec)
+    evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise SpecValidationError(f"scenario name must be a non-empty string, got {self.name!r}")
+        coerce = {
+            "topology": TopologySpec,
+            "traffic": TrafficSpec,
+            "routing": RoutingSpec,
+            "training": TrainingSpec,
+            "evaluation": EvaluationSpec,
+        }
+        for attr, cls in coerce.items():
+            value = getattr(self, attr)
+            if isinstance(value, Mapping):
+                object.__setattr__(self, attr, cls.from_dict(value))
+            elif not isinstance(value, cls):
+                raise SpecValidationError(
+                    f"{attr} must be a {cls.__name__} or mapping, got {type(value).__name__}"
+                )
+        if "throughput" not in self.evaluation.metrics and not (
+            self.routing.policies or self.routing.strategies
+        ):
+            raise SpecValidationError(
+                "routing must name at least one policy or strategy to evaluate"
+            )
+        if any(m in self.evaluation.metrics for m in ("learning_curve", "throughput")):
+            if not self.routing.policies:
+                raise SpecValidationError(
+                    "learning_curve/throughput metrics require at least one routing policy"
+                )
+        if "utilisation_ratio" in self.evaluation.metrics and self.traffic.num_test == 0:
+            raise SpecValidationError(
+                "the utilisation_ratio metric needs held-out sequences; "
+                "traffic.num_test must be >= 1 (or None to use the scale's value)"
+            )
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "topology": self.topology.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "routing": self.routing.to_dict(),
+            "training": self.training.to_dict(),
+            "evaluation": self.evaluation.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        if not isinstance(data, Mapping):
+            raise SpecValidationError(f"scenario spec must be a mapping, got {type(data).__name__}")
+        _reject_unknown_keys(cls, data, "scenario spec")
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecValidationError(f"scenario spec is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    # -- functional updates --------------------------------------------
+
+    def with_updates(self, updates: Mapping[str, Any]) -> "ScenarioSpec":
+        """A copy with dotted-path overrides applied (the CLI ``--set`` path).
+
+        Keys are dotted paths into the dict form (``traffic.model``,
+        ``training.overrides.total_timesteps``, ``topology.params.seed``);
+        the updated dict re-validates through :meth:`from_dict`.  Paths may
+        create missing mapping levels but never descend *through* an
+        existing non-mapping value — to change a list (e.g.
+        ``routing.policies``) replace it wholesale.
+        """
+        data = self.to_dict()
+        for path, value in updates.items():
+            parts = path.split(".")
+            cursor = data
+            for depth, part in enumerate(parts[:-1]):
+                if part not in cursor:
+                    cursor[part] = {}
+                elif not isinstance(cursor[part], dict):
+                    prefix = ".".join(parts[: depth + 1])
+                    raise SpecValidationError(
+                        f"cannot apply override {path!r}: {prefix!r} is "
+                        f"{type(cursor[part]).__name__}-valued, not a mapping "
+                        f"(replace {prefix!r} wholesale instead)"
+                    )
+                cursor = cursor[part]
+            cursor[parts[-1]] = value
+        return ScenarioSpec.from_dict(data)
+
+
+__all__ = [
+    "KNOWN_METRICS",
+    "SpecValidationError",
+    "TopologySpec",
+    "TrafficSpec",
+    "PolicySpec",
+    "StrategySpec",
+    "RoutingSpec",
+    "TrainingSpec",
+    "EvaluationSpec",
+    "ScenarioSpec",
+]

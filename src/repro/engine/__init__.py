@@ -47,6 +47,8 @@ __all__ = [
     "warm_lp_cache",
     "EngineBenchmark",
     "engine_speedup",
+    "BENCH_WORKLOADS",
+    "bench_workload",
 ]
 
 _LAZY = {
@@ -57,6 +59,8 @@ _LAZY = {
     "warm_lp_cache": "repro.engine.evaluate",
     "EngineBenchmark": "repro.engine.benchmark",
     "engine_speedup": "repro.engine.benchmark",
+    "BENCH_WORKLOADS": "repro.engine.benchmark",
+    "bench_workload": "repro.engine.benchmark",
 }
 
 

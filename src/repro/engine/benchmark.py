@@ -36,6 +36,27 @@ class EngineBenchmark:
         return self.scalar_seconds / max(self.batched_seconds, 1e-12)
 
 
+#: Workload sizes per experiment-scale preset, so ``runner bench --preset X``
+#: scales the measurement like every other subcommand: ``quick`` is the CI
+#: acceptance workload, ``standard``/``paper`` grow the graph and matrix
+#: count to where batching pays off even more.
+BENCH_WORKLOADS: dict[str, dict[str, int]] = {
+    "quick": dict(num_nodes=20, extra_edges=30, num_matrices=4),
+    "standard": dict(num_nodes=32, extra_edges=64, num_matrices=8),
+    "paper": dict(num_nodes=48, extra_edges=120, num_matrices=16),
+}
+
+
+def bench_workload(preset: str) -> dict[str, int]:
+    """The :func:`engine_speedup` sizing for a named preset."""
+    try:
+        return dict(BENCH_WORKLOADS[preset])
+    except KeyError:
+        raise ValueError(
+            f"unknown bench preset {preset!r}; choose from {sorted(BENCH_WORKLOADS)}"
+        ) from None
+
+
 def _evaluate_scalar(network, weights, gamma, demands) -> np.ndarray:
     from repro.flows.simulator import link_loads
 

@@ -1,22 +1,33 @@
-"""Experiment harness: one runner per figure in the paper's evaluation.
+"""Experiment harness: declarative scenarios plus legacy figure shims.
 
-* :mod:`~repro.experiments.fig6` — fixed-graph comparison (Abilene): MLP
-  vs GNN vs iterative GNN bar heights plus the shortest-path line;
-* :mod:`~repro.experiments.fig7` — learning curves for MLP and GNN;
-* :mod:`~repro.experiments.fig8` — generalisation: graph modifications vs
-  entirely different graphs;
-* :mod:`~repro.experiments.throughput` — the §VIII-C training-throughput
-  parity check;
-* :mod:`~repro.experiments.config` — scale presets (``quick`` for CI &
-  benchmarks, ``standard`` for meaningful shapes, ``paper`` for the full
-  500k-timestep schedule).
+The experiments layer is now a thin veneer over :mod:`repro.api`:
+
+* :mod:`~repro.experiments.config` — :class:`ExperimentScale` presets
+  (``quick`` for CI & benchmarks, ``standard`` for meaningful shapes,
+  ``paper`` for the full 500k-timestep schedule), referenced by every
+  scenario spec's training axis;
+* :mod:`~repro.experiments.fig6` / :mod:`~repro.experiments.fig7` /
+  :mod:`~repro.experiments.fig8` / :mod:`~repro.experiments.throughput` —
+  deprecation shims keeping the historical ``run(scale, seed, echo)``
+  surface over the bundled scenario presets
+  (:mod:`repro.api.presets`), bit-compatible with the pre-API runners;
+* :mod:`~repro.experiments.runner` — the CLI
+  (``run``/``list``/``bench`` plus the legacy figure subcommands);
+* :mod:`~repro.experiments.reporting` — plain-text result rendering.
 
 Run from the command line::
 
-    python -m repro.experiments.runner fig6 --preset standard --seed 0
+    python -m repro.experiments.runner run fig6 --preset standard --seed 0
+    python -m repro.experiments.runner list scenarios
 """
 
-from repro.experiments.config import ExperimentScale, PRESETS, get_preset
+from repro.experiments.config import (
+    ExperimentScale,
+    PRESETS,
+    get_preset,
+    scale_field_names,
+    scaled,
+)
 from repro.experiments.evaluate import (
     evaluate_policy,
     evaluate_shortest_path,
@@ -27,6 +38,8 @@ __all__ = [
     "ExperimentScale",
     "PRESETS",
     "get_preset",
+    "scaled",
+    "scale_field_names",
     "evaluate_policy",
     "evaluate_shortest_path",
     "EvaluationResult",

@@ -13,7 +13,7 @@ test suite, so every experiment takes an :class:`ExperimentScale`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass(frozen=True)
@@ -117,6 +117,21 @@ def get_preset(name: str) -> ExperimentScale:
         raise ValueError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}") from None
 
 
+def scale_field_names() -> list[str]:
+    """The override keys :func:`scaled` (and spec validation) accept."""
+    return [f.name for f in fields(ExperimentScale)]
+
+
 def scaled(preset: str, **overrides) -> ExperimentScale:
-    """A preset with fields overridden (e.g. ``scaled('quick', total_timesteps=512)``)."""
+    """A preset with fields overridden (e.g. ``scaled('quick', total_timesteps=512)``).
+
+    Unknown field names raise a :class:`ValueError` naming the bad key and
+    listing the valid ones, instead of the dataclass's raw ``TypeError``.
+    """
+    valid = scale_field_names()
+    unknown = sorted(set(overrides) - set(valid))
+    if unknown:
+        raise ValueError(
+            f"unknown ExperimentScale field(s) {unknown}; valid fields: {valid}"
+        )
     return replace(get_preset(preset), **overrides)

@@ -1,36 +1,29 @@
-"""Figure 6: learning to route on a fixed graph.
+"""Figure 6 — deprecation shim over the declarative scenario API.
 
-Trains the MLP baseline, the one-shot GNN policy and the iterative GNN
-policy on Abilene over cyclical bimodal demand sequences (7 train / 3
-test in the paper), then reports each policy's mean max-utilisation ratio
-on the held-out test sequences next to the shortest-path baseline.
+The fixed-graph comparison (MLP vs one-shot GNN vs iterative GNN vs
+shortest path on Abilene) now lives in
+:func:`repro.api.presets.fig6_spec`; :func:`run` keeps the historical
+``run(scale, seed=..., echo=...)`` surface by building that spec and
+driving it through :func:`repro.api.run`.  Results are bit-compatible
+with the pre-API runner (same seed choreography; see
+:mod:`repro.api.runner`).
 
-Paper's shape: all three learned policies beat shortest-path (~1.3);
-the GNN policies edge out the MLP.
+Prefer the spec surface for new code::
+
+    from repro import api
+    result = api.run(api.get_scenario("fig6"))
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.engine.evaluate import warm_lp_cache
-from repro.envs.iterative_env import IterativeRoutingEnv
-from repro.envs.reward import RewardComputer
-from repro.envs.routing_env import RoutingEnv
+from repro.api.presets import fig6_spec
+from repro.api.runner import run as run_scenario
+from repro.engine.evaluate import EvaluationResult
 from repro.experiments.config import ExperimentScale, get_preset
-from repro.experiments.evaluate import (
-    EvaluationResult,
-    evaluate_policy,
-    evaluate_shortest_path,
-)
-from repro.graphs.zoo import abilene
-from repro.policies.gnn import GNNPolicy
-from repro.policies.iterative import IterativeGNNPolicy
-from repro.policies.mlp import MLPPolicy
-from repro.rl.ppo import PPO, PPOConfig
-from repro.traffic.sequences import train_test_sequences
-from repro.utils.logging import RunLogger
 
 
 @dataclass(frozen=True)
@@ -52,120 +45,27 @@ class Fig6Result:
         ]
 
 
-def _ppo_config(scale: ExperimentScale, agent: str = "gnn") -> PPOConfig:
-    """Per-agent PPO settings (tuned separately, as in the paper's §VIII-C)."""
-    if agent == "mlp":
-        return PPOConfig(
-            n_steps=scale.n_steps,
-            batch_size=scale.batch_size,
-            n_epochs=scale.n_epochs,
-            learning_rate=scale.mlp_learning_rate,
-            linear_lr_decay=scale.mlp_linear_lr_decay,
-        )
-    return PPOConfig(
-        n_steps=scale.n_steps,
-        batch_size=scale.batch_size,
-        n_epochs=scale.n_epochs,
-        learning_rate=scale.learning_rate,
-    )
-
-
 def run(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     echo: bool = False,
 ) -> Fig6Result:
-    """Run the full Figure 6 experiment and return its series."""
+    """Run the full Figure 6 experiment and return its series.
+
+    .. deprecated:: 1.1
+        Use ``repro.api.run(repro.api.presets.fig6_spec(...))`` instead.
+    """
+    warnings.warn(
+        "repro.experiments.fig6.run is a shim over repro.api.run(fig6_spec(...)); "
+        "prefer the scenario API",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     scale = scale or get_preset("quick")
-    network = abilene()
-    train_seqs, test_seqs = train_test_sequences(
-        network.num_nodes,
-        num_train=scale.num_train_sequences,
-        num_test=scale.num_test_sequences,
-        length=scale.sequence_length,
-        cycle_length=scale.cycle_length,
-        seed=seed,
-    )
-    rewarder = RewardComputer()
-    # Presolve each distinct cyclical-block DM once so training and
-    # evaluation only ever hit the LP cache.
-    warm_lp_cache(network, train_seqs + test_seqs, rewarder)
-
-    def train_one_shot(policy, policy_seed: int, agent: str):
-        env = RoutingEnv(
-            network,
-            train_seqs,
-            memory_length=scale.memory_length,
-            softmin_gamma=scale.softmin_gamma,
-            weight_scale=scale.weight_scale,
-            reward_computer=rewarder,
-            seed=policy_seed,
-        )
-        PPO(
-            policy, env, _ppo_config(scale, agent), seed=policy_seed, logger=RunLogger(echo=echo)
-        ).learn(scale.total_timesteps)
-
-    mlp = MLPPolicy(
-        network.num_nodes,
-        network.num_edges,
-        memory_length=scale.memory_length,
-        hidden=scale.mlp_hidden,
-        seed=seed,
-        initial_log_std=scale.mlp_initial_log_std,
-    )
-    train_one_shot(mlp, seed + 1, "mlp")
-
-    gnn = GNNPolicy(
-        memory_length=scale.memory_length,
-        latent=scale.latent,
-        hidden=scale.hidden,
-        num_processing_steps=scale.num_processing_steps,
-        seed=seed,
-        initial_log_std=scale.gnn_initial_log_std,
-    )
-    train_one_shot(gnn, seed + 2, "gnn")
-
-    iterative = IterativeGNNPolicy(
-        memory_length=scale.memory_length,
-        latent=scale.latent,
-        hidden=scale.hidden,
-        num_processing_steps=scale.num_processing_steps,
-        seed=seed,
-        initial_log_std=scale.gnn_initial_log_std,
-    )
-    iterative_env = IterativeRoutingEnv(
-        network,
-        train_seqs,
-        memory_length=scale.memory_length,
-        weight_scale=scale.weight_scale,
-        reward_computer=rewarder,
-        seed=seed + 3,
-    )
-    PPO(
-        iterative,
-        iterative_env,
-        _ppo_config(scale, "gnn"),
-        seed=seed + 3,
-        logger=RunLogger(echo=echo),
-    ).learn(scale.total_timesteps)
-
-    common = dict(
-        network=network,
-        sequences=test_seqs,
-        memory_length=scale.memory_length,
-        reward_computer=rewarder,
-    )
+    result = run_scenario(fig6_spec(scale=scale, seed=seed), echo=echo)
     return Fig6Result(
-        mlp=evaluate_policy(
-            mlp, softmin_gamma=scale.softmin_gamma, weight_scale=scale.weight_scale, **common
-        ),
-        gnn=evaluate_policy(
-            gnn, softmin_gamma=scale.softmin_gamma, weight_scale=scale.weight_scale, **common
-        ),
-        gnn_iterative=evaluate_policy(
-            iterative, iterative=True, weight_scale=scale.weight_scale, **common
-        ),
-        shortest_path=evaluate_shortest_path(
-            network, test_seqs, memory_length=scale.memory_length, reward_computer=rewarder
-        ),
+        mlp=result.policies["mlp"],
+        gnn=result.policies["gnn"],
+        gnn_iterative=result.policies["gnn_iterative"],
+        shortest_path=result.strategies["shortest_path"],
     )

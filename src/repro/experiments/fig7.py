@@ -1,39 +1,23 @@
-"""Figure 7: learning curves for the MLP and GNN agents.
+"""Figure 7 — deprecation shim over the declarative scenario API.
 
-Trains both policies on the Figure 6 setup and returns, per policy, the
-series (timesteps, mean total reward per episode) that the paper plots.
-Paper's shape: both learn; the GNN starts worse but plateaus sooner and
-higher.
+The learning-curve experiment now lives in
+:func:`repro.api.presets.fig7_spec`; :func:`run` keeps the historical
+surface and result shape.  :class:`LearningCurve` itself moved to
+:mod:`repro.api.results` and is re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.engine.evaluate import warm_lp_cache
-from repro.envs.reward import RewardComputer
-from repro.envs.routing_env import RoutingEnv
+from repro.api.presets import fig7_spec
+from repro.api.results import LearningCurve
+from repro.api.runner import run as run_scenario
 from repro.experiments.config import ExperimentScale, get_preset
-from repro.graphs.zoo import abilene
-from repro.policies.gnn import GNNPolicy
-from repro.policies.mlp import MLPPolicy
-from repro.rl.ppo import PPO, PPOConfig
-from repro.traffic.sequences import train_test_sequences
-from repro.utils.logging import RunLogger
 
-
-@dataclass(frozen=True)
-class LearningCurve:
-    """One policy's training trajectory."""
-
-    label: str
-    timesteps: tuple
-    mean_episode_rewards: tuple
-
-    @property
-    def final_reward(self) -> float:
-        return self.mean_episode_rewards[-1]
+__all__ = ["LearningCurve", "Fig7Result", "run"]
 
 
 @dataclass(frozen=True)
@@ -47,46 +31,11 @@ class Fig7Result:
         return [self.mlp, self.gnn]
 
 
-def _train_curve(
-    policy,
-    label: str,
-    network,
-    sequences,
-    scale: ExperimentScale,
-    seed: int,
-    rewarder,
-    echo: bool,
-) -> LearningCurve:
-    env = RoutingEnv(
-        network,
-        sequences,
-        memory_length=scale.memory_length,
-        softmin_gamma=scale.softmin_gamma,
-        weight_scale=scale.weight_scale,
-        reward_computer=rewarder,
-        seed=seed,
-    )
-    logger = RunLogger(echo=echo)
-    if label == "MLP":
-        config = PPOConfig(
-            n_steps=scale.n_steps,
-            batch_size=scale.batch_size,
-            n_epochs=scale.n_epochs,
-            learning_rate=scale.mlp_learning_rate,
-            linear_lr_decay=scale.mlp_linear_lr_decay,
-        )
-    else:
-        config = PPOConfig(
-            n_steps=scale.n_steps,
-            batch_size=scale.batch_size,
-            n_epochs=scale.n_epochs,
-            learning_rate=scale.learning_rate,
-        )
-    PPO(policy, env, config, seed=seed, logger=logger).learn(scale.total_timesteps)
+def _relabel(curve: LearningCurve, label: str) -> LearningCurve:
     return LearningCurve(
         label=label,
-        timesteps=tuple(logger.column("timesteps")),
-        mean_episode_rewards=tuple(logger.column("mean_episode_reward")),
+        timesteps=curve.timesteps,
+        mean_episode_rewards=curve.mean_episode_rewards,
     )
 
 
@@ -95,37 +44,20 @@ def run(
     seed: int = 0,
     echo: bool = False,
 ) -> Fig7Result:
-    """Run the Figure 7 experiment and return both learning curves."""
-    scale = scale or get_preset("quick")
-    network = abilene()
-    train_seqs, _ = train_test_sequences(
-        network.num_nodes,
-        num_train=scale.num_train_sequences,
-        num_test=scale.num_test_sequences,
-        length=scale.sequence_length,
-        cycle_length=scale.cycle_length,
-        seed=seed,
-    )
-    rewarder = RewardComputer()
-    warm_lp_cache(network, train_seqs, rewarder)
+    """Run the Figure 7 experiment and return both learning curves.
 
-    mlp = MLPPolicy(
-        network.num_nodes,
-        network.num_edges,
-        memory_length=scale.memory_length,
-        hidden=scale.mlp_hidden,
-        seed=seed,
-        initial_log_std=scale.mlp_initial_log_std,
+    .. deprecated:: 1.1
+        Use ``repro.api.run(repro.api.presets.fig7_spec(...))`` instead.
+    """
+    warnings.warn(
+        "repro.experiments.fig7.run is a shim over repro.api.run(fig7_spec(...)); "
+        "prefer the scenario API",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    gnn = GNNPolicy(
-        memory_length=scale.memory_length,
-        latent=scale.latent,
-        hidden=scale.hidden,
-        num_processing_steps=scale.num_processing_steps,
-        seed=seed,
-        initial_log_std=scale.gnn_initial_log_std,
-    )
+    scale = scale or get_preset("quick")
+    result = run_scenario(fig7_spec(scale=scale, seed=seed), echo=echo)
     return Fig7Result(
-        mlp=_train_curve(mlp, "MLP", network, train_seqs, scale, seed + 1, rewarder, echo),
-        gnn=_train_curve(gnn, "GNN", network, train_seqs, scale, seed + 2, rewarder, echo),
+        mlp=_relabel(result.curves["mlp"][0], "MLP"),
+        gnn=_relabel(result.curves["gnn"][0], "GNN"),
     )

@@ -1,40 +1,23 @@
-"""Figure 8: generalising to unseen graphs.
+"""Figure 8 — deprecation shim over the declarative scenario API.
 
-Two settings, each training the one-shot GNN and the iterative GNN on a
-*mixture* of topologies and testing on held-out topologies (the MLP cannot
-be applied here — its input/output sizes are fixed):
-
-* **Graph Modifications** — train on Abilene plus random ±1–2 node/edge
-  modifications of it; test on *fresh* modifications.
-* **Different Graphs** — train and test on disjoint pools of random
-  topologies between half and double Abilene's size.
-
-Paper's shape: both policies stay near or below the shortest-path line;
-the iterative policy generalises better; the "different graphs" bars are
-much higher than the "modifications" bars because softmin's
-approximations bite harder on some structures.
+Both generalisation settings now live in
+:func:`repro.api.presets.fig8_modifications_spec` and
+:func:`repro.api.presets.fig8_different_spec`; :func:`run` executes the
+two scenario specs and assembles the historical :class:`Fig8Result`
+(bit-compatible seed choreography; see :mod:`repro.api.runner`).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
-from repro.engine.evaluate import batch_evaluate, batch_evaluate_routing
-from repro.envs.multigraph import MultiGraphRoutingEnv
-from repro.envs.reward import RewardComputer
+from repro.api.presets import fig8_different_spec, fig8_modifications_spec
+from repro.api.results import ScenarioResult
+from repro.api.runner import run as run_scenario
+from repro.engine.evaluate import EvaluationResult
 from repro.experiments.config import ExperimentScale, get_preset
-from repro.experiments.evaluate import EvaluationResult
-from repro.graphs.generators import different_graphs_pool
-from repro.graphs.modifications import random_modification
-from repro.graphs.network import Network
-from repro.graphs.zoo import abilene
-from repro.policies.gnn import GNNPolicy
-from repro.policies.iterative import IterativeGNNPolicy
-from repro.rl.ppo import PPO, PPOConfig
-from repro.routing.shortest_path import shortest_path_routing
-from repro.traffic.sequences import train_test_sequences
-from repro.utils.logging import RunLogger
 
 
 @dataclass(frozen=True)
@@ -64,129 +47,12 @@ class Fig8Result:
         return rows
 
 
-def _sequences_for(network: Network, scale: ExperimentScale, seed: int, train: bool):
-    train_seqs, test_seqs = train_test_sequences(
-        network.num_nodes,
-        num_train=scale.num_train_sequences,
-        num_test=scale.num_test_sequences,
-        length=scale.sequence_length,
-        cycle_length=scale.cycle_length,
-        seed=seed,
-    )
-    return train_seqs if train else test_seqs
-
-
-def _train_pair(
-    train_graphs: Sequence[Network],
-    scale: ExperimentScale,
-    seed: int,
-    rewarder: RewardComputer,
-    echo: bool,
-) -> tuple[GNNPolicy, IterativeGNNPolicy]:
-    """Train one-shot and iterative GNN policies on a topology mixture."""
-    config = PPOConfig(
-        n_steps=scale.n_steps,
-        batch_size=scale.batch_size,
-        n_epochs=scale.n_epochs,
-        learning_rate=scale.learning_rate,
-    )
-
-    pairs = [
-        (g, _sequences_for(g, scale, seed + 100 + i, train=True))
-        for i, g in enumerate(train_graphs)
-    ]
-
-    gnn = GNNPolicy(
-        memory_length=scale.memory_length,
-        latent=scale.latent,
-        hidden=scale.hidden,
-        num_processing_steps=scale.num_processing_steps,
-        seed=seed,
-        initial_log_std=scale.gnn_initial_log_std,
-    )
-    env = MultiGraphRoutingEnv(
-        pairs,
-        iterative=False,
-        memory_length=scale.memory_length,
-        softmin_gamma=scale.softmin_gamma,
-        weight_scale=scale.weight_scale,
-        reward_computer=rewarder,
-        seed=seed + 1,
-    )
-    PPO(gnn, env, config, seed=seed + 1, logger=RunLogger(echo=echo)).learn(scale.total_timesteps)
-
-    iterative = IterativeGNNPolicy(
-        memory_length=scale.memory_length,
-        latent=scale.latent,
-        hidden=scale.hidden,
-        num_processing_steps=scale.num_processing_steps,
-        seed=seed,
-        initial_log_std=scale.gnn_initial_log_std,
-    )
-    iterative_env = MultiGraphRoutingEnv(
-        pairs,
-        iterative=True,
-        memory_length=scale.memory_length,
-        weight_scale=scale.weight_scale,
-        reward_computer=rewarder,
-        seed=seed + 2,
-    )
-    PPO(iterative, iterative_env, config, seed=seed + 2, logger=RunLogger(echo=echo)).learn(
-        scale.total_timesteps
-    )
-    return gnn, iterative
-
-
-def _evaluate_setting(
-    label: str,
-    gnn: GNNPolicy,
-    iterative: IterativeGNNPolicy,
-    test_graphs: Sequence[Network],
-    scale: ExperimentScale,
-    seed: int,
-    rewarder: RewardComputer,
-) -> GeneralisationSetting:
-    """Mean ratios over every test graph's held-out sequences.
-
-    Each policy is evaluated over all test topologies in one
-    :func:`repro.engine.batch_evaluate` call; the shortest-path baseline
-    takes the factorised fixed-routing path.
-    """
-    test_graphs = list(test_graphs)
-    groups = [
-        _sequences_for(network, scale, seed + 200 + i, train=False)
-        for i, network in enumerate(test_graphs)
-    ]
-    gnn_result = batch_evaluate(
-        gnn,
-        test_graphs,
-        groups,
-        memory_length=scale.memory_length,
-        softmin_gamma=scale.softmin_gamma,
-        weight_scale=scale.weight_scale,
-        reward_computer=rewarder,
-    )
-    iter_result = batch_evaluate(
-        iterative,
-        test_graphs,
-        groups,
-        iterative=True,
-        memory_length=scale.memory_length,
-        weight_scale=scale.weight_scale,
-        reward_computer=rewarder,
-    )
-    sp_result = batch_evaluate_routing(
-        shortest_path_routing,
-        test_graphs,
-        groups,
-        memory_length=scale.memory_length,
-        reward_computer=rewarder,
-    )
+def _setting(label: str, result: ScenarioResult) -> GeneralisationSetting:
     return GeneralisationSetting(
         label=label,
-        gnn=gnn_result.combined,
-        gnn_iterative=iter_result.combined,
-        shortest_path=sp_result.combined,
+        gnn=result.policies["gnn"],
+        gnn_iterative=result.policies["gnn_iterative"],
+        shortest_path=result.strategies["shortest_path"],
     )
 
 
@@ -195,35 +61,22 @@ def run(
     seed: int = 0,
     echo: bool = False,
 ) -> Fig8Result:
-    """Run both Figure 8 settings and return their bar heights."""
+    """Run both Figure 8 settings and return their bar heights.
+
+    .. deprecated:: 1.1
+        Use ``repro.api.run`` on ``fig8_modifications_spec`` /
+        ``fig8_different_spec`` instead.
+    """
+    warnings.warn(
+        "repro.experiments.fig8.run is a shim over repro.api.run on the "
+        "fig8-modifications/fig8-different scenarios; prefer the scenario API",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     scale = scale or get_preset("quick")
-    base = abilene()
-    rewarder = RewardComputer()
-
-    # Setting 1: Abilene with small random modifications.
-    train_mods = [base] + [
-        random_modification(base, seed=seed + 10 + i)
-        for i in range(max(1, scale.num_train_graphs - 1))
-    ]
-    test_mods = [
-        random_modification(base, seed=seed + 900 + i) for i in range(scale.num_test_graphs)
-    ]
-    gnn_m, iter_m = _train_pair(train_mods, scale, seed + 1000, rewarder, echo)
-    modifications = _evaluate_setting(
-        "Graph Modifications", gnn_m, iter_m, test_mods, scale, seed + 1000, rewarder
+    modifications = run_scenario(fig8_modifications_spec(scale=scale, seed=seed), echo=echo)
+    different = run_scenario(fig8_different_spec(scale=scale, seed=seed), echo=echo)
+    return Fig8Result(
+        modifications=_setting("Graph Modifications", modifications),
+        different_graphs=_setting("Different Graphs", different),
     )
-
-    # Setting 2: entirely different random graphs (0.5x-2x Abilene size).
-    pool = different_graphs_pool(
-        base.num_nodes,
-        scale.num_train_graphs + scale.num_test_graphs,
-        seed=seed + 2000,
-    )
-    train_pool = pool[: scale.num_train_graphs]
-    test_pool = pool[scale.num_train_graphs :]
-    gnn_d, iter_d = _train_pair(train_pool, scale, seed + 3000, rewarder, echo)
-    different = _evaluate_setting(
-        "Different Graphs", gnn_d, iter_d, test_pool, scale, seed + 3000, rewarder
-    )
-
-    return Fig8Result(modifications=modifications, different_graphs=different)

@@ -7,6 +7,7 @@ examples and EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
 
 from repro.experiments.fig6 import Fig6Result
 from repro.experiments.fig7 import Fig7Result
@@ -78,6 +79,49 @@ def format_throughput(result: ThroughputResult) -> str:
             "(paper: ~1.0, both agents ≈70 fps)",
         ]
     )
+
+
+def format_scenario(result) -> str:
+    """A :class:`repro.api.ScenarioResult` as the generic text report.
+
+    Covers every metric the scenario API collects: pooled utilisation
+    ratios (policies and strategies interleaved in spec order), per-seed
+    learning-curve summaries, and training throughput.
+    """
+    spec = result.spec
+    header = f"Scenario {spec.name!r}"
+    if spec.description:
+        header += f" — {spec.description}"
+    lines = [header]
+    seeds = tuple(spec.evaluation.seeds)
+
+    rows = result.rows()
+    if rows:
+        pooled = f" (pooled over seeds {list(seeds)})" if len(seeds) > 1 else ""
+        lines += [
+            "",
+            f"mean max-utilisation ratio vs LP optimum (lower is better, 1.0 = optimal){pooled}",
+        ]
+        for label, mean in rows:
+            lines.append(f"  {label:<24} {mean:6.3f}  {_bar(mean)}")
+
+    if result.curves:
+        lines += ["", "learning curves (final mean episode reward per seed; higher is better)"]
+        for label, curves in result.curves.items():
+            finals = ", ".join(
+                f"seed {seed}: {curve.final_reward:9.2f}"
+                if curve.mean_episode_rewards and math.isfinite(curve.final_reward)
+                else f"seed {seed}: n/a (no completed episode)"
+                for seed, curve in zip(seeds, curves)
+            )
+            lines.append(f"  {label:<24} {finals}")
+
+    if result.throughput:
+        lines += ["", "training throughput (environment steps per second)"]
+        for label, fps in result.throughput.items():
+            lines.append(f"  {label:<24} {fps:8.1f} fps")
+
+    return "\n".join(lines)
 
 
 def format_engine_bench(result) -> str:

@@ -1,84 +1,250 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner for the declarative scenario API.
 
 Usage::
 
-    python -m repro.experiments.runner fig6 --preset standard --seed 0
-    python -m repro.experiments.runner fig7 --preset quick
-    python -m repro.experiments.runner fig8 --preset standard
-    python -m repro.experiments.runner throughput
-    python -m repro.experiments.runner bench
+    # Run a registered scenario, or any spec JSON file on disk
+    python -m repro.experiments.runner run fig6 --preset standard --seed 0
+    python -m repro.experiments.runner run scenario.json
+    python -m repro.experiments.runner run fig6 --set traffic.model=gravity \
+        --set topology.name=abilene --set training.total_timesteps=512
+
+    # Discover what the registries provide
+    python -m repro.experiments.runner list scenarios
+    python -m repro.experiments.runner list topologies
+
+    # Time the batch engine against the scalar reference (preset-sized)
+    python -m repro.experiments.runner bench --preset standard
+
+    # Legacy figure surface (deprecation shims over the scenario presets)
+    python -m repro.experiments.runner fig6 --preset quick --timesteps 128
     python -m repro.experiments.runner all --preset quick
 
-``bench`` times the vectorized batch evaluation engine against the scalar
-reference implementation (no training involved).
-
-``--timesteps`` overrides the preset's training volume, so the paper
-schedule is ``--preset paper`` (or any preset with ``--timesteps 500000``).
+``--set PATH=VALUE`` applies a dotted-path override to the scenario spec
+(values parse as JSON, falling back to strings), so any axis is adjustable
+from the shell.  ``--timesteps`` remains shorthand for
+``--set training.total_timesteps=N``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from dataclasses import replace
+from pathlib import Path
 
-from repro.experiments import fig6, fig7, fig8, throughput
+from repro.api.registry import UnknownComponentError, registry_for
+from repro.api.presets import SCENARIOS, get_scenario
+from repro.api.runner import run as run_scenario
+from repro.api.spec import ScenarioSpec, SpecValidationError
 from repro.experiments.config import PRESETS, get_preset
 from repro.experiments.reporting import (
     format_engine_bench,
     format_fig6,
     format_fig7,
     format_fig8,
+    format_scenario,
     format_throughput,
 )
 
-EXPERIMENTS = ("fig6", "fig7", "fig8", "throughput", "bench", "all")
+LEGACY_EXPERIMENTS = ("fig6", "fig7", "fig8", "throughput", "all")
+LIST_AXES = ("topologies", "traffic", "strategies", "policies", "scenarios", "all")
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro.experiments.runner",
-        description="Reproduce the GDDR evaluation figures.",
-    )
-    parser.add_argument("experiment", choices=EXPERIMENTS)
+def _add_scale_options(parser: argparse.ArgumentParser, preset_default=None) -> None:
     parser.add_argument(
         "--preset",
-        default="quick",
+        default=preset_default,
         choices=sorted(PRESETS),
         help="scale preset (quick/standard/paper)",
     )
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
         "--timesteps", type=int, default=None, help="override the preset's training volume"
     )
     parser.add_argument(
         "--echo", action="store_true", help="print per-update training diagnostics"
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Run declarative GDDR experiment scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    run_p = sub.add_parser(
+        "run", help="run a registered scenario by name, or a spec JSON file"
+    )
+    run_p.add_argument(
+        "scenario", help="scenario name (see 'list scenarios') or path to a JSON spec"
+    )
+    _add_scale_options(run_p)
+    run_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help="dotted-path spec override, e.g. --set traffic.model=gravity",
+    )
+    run_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the resolved spec as JSON and exit without running",
+    )
+
+    list_p = sub.add_parser("list", help="list registered components or scenarios")
+    list_p.add_argument("axis", nargs="?", default="all", choices=LIST_AXES)
+
+    bench_p = sub.add_parser(
+        "bench", help="time the batch evaluation engine against the scalar reference"
+    )
+    bench_p.add_argument(
+        "--preset",
+        default="quick",
+        choices=sorted(PRESETS),
+        help="bench workload size (see repro.engine.benchmark.BENCH_WORKLOADS)",
+    )
+    bench_p.add_argument("--seed", type=int, default=0)
+
+    for name in LEGACY_EXPERIMENTS:
+        legacy = sub.add_parser(name, help=f"[legacy] {name} via the deprecation shims")
+        _add_scale_options(legacy, preset_default="quick")
     return parser
+
+
+def _parse_set(assignment: str) -> tuple[str, object]:
+    """Split ``PATH=VALUE``; the value parses as JSON with string fallback."""
+    path, sep, raw = assignment.partition("=")
+    if not sep or not path:
+        raise SpecValidationError(
+            f"--set expects PATH=VALUE (e.g. traffic.model=gravity), got {assignment!r}"
+        )
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return path, value
+
+
+def _load_spec_file(target: str) -> ScenarioSpec:
+    path = Path(target)
+    if not path.is_file():
+        raise SpecValidationError(f"scenario file {target!r} does not exist")
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SpecValidationError(f"cannot read scenario file {target!r}: {exc}") from None
+    return ScenarioSpec.from_json(text)
+
+
+def _resolve_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Load the named/stored spec and fold every CLI override into it.
+
+    ``.json`` targets always load from disk; otherwise registered scenario
+    names win over same-named filesystem entries, and a plain file path is
+    the fallback.
+    """
+    target = args.scenario
+    if target.endswith(".json"):
+        spec = _load_spec_file(target)
+    elif target in SCENARIOS:
+        spec = get_scenario(target)
+    elif Path(target).is_file():
+        spec = _load_spec_file(target)
+    else:
+        spec = get_scenario(target)  # raises naming the registered scenarios
+    updates: dict[str, object] = {}
+    if args.preset is not None:
+        updates["training.preset"] = args.preset
+    if args.timesteps is not None:
+        updates["training.overrides.total_timesteps"] = args.timesteps
+    if args.seed is not None:
+        updates["evaluation.seeds"] = [args.seed]
+    for assignment in args.overrides:
+        path, value = _parse_set(assignment)
+        updates[path] = value
+    return spec.with_updates(updates) if updates else spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    if args.as_json:
+        print(spec.to_json())
+        return 0
+    print(format_scenario(run_scenario(spec, echo=args.echo)))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    axes = [a for a in LIST_AXES if a != "all"] if args.axis == "all" else [args.axis]
+    for axis in axes:
+        registry = SCENARIOS if axis == "scenarios" else registry_for(axis)
+        print(f"{axis} ({len(registry)}):")
+        for name, description in registry.items():
+            print(f"  {name:<24} {description}")
+        print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.engine.benchmark import bench_workload, engine_speedup
+
+    workload = bench_workload(args.preset)
+    print(format_engine_bench(engine_speedup(seed=args.seed, **workload)))
+    return 0
+
+
+def _cmd_legacy(args: argparse.Namespace) -> int:
+    """The pre-API figure surface, driven through the deprecation shims."""
+    from dataclasses import replace
+
+    from repro.experiments import fig6, fig7, fig8, throughput
+
+    scale = get_preset(args.preset)
+    if args.timesteps is not None:
+        scale = replace(scale, total_timesteps=args.timesteps)
+    seed = args.seed if args.seed is not None else 0
+
+    chosen = ("fig6", "fig7", "fig8", "throughput", "bench") if args.command == "all" else (
+        args.command,
+    )
+    for name in chosen:
+        if name == "fig6":
+            print(format_fig6(fig6.run(scale, seed=seed, echo=args.echo)))
+        elif name == "fig7":
+            print(format_fig7(fig7.run(scale, seed=seed, echo=args.echo)))
+        elif name == "fig8":
+            print(format_fig8(fig8.run(scale, seed=seed, echo=args.echo)))
+        elif name == "throughput":
+            print(format_throughput(throughput.run(scale, seed=seed)))
+        elif name == "bench":
+            from repro.engine.benchmark import bench_workload, engine_speedup
+
+            print(format_engine_bench(engine_speedup(seed=seed, **bench_workload(args.preset))))
+        print()
+    return 0
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    scale = get_preset(args.preset)
-    if args.timesteps is not None:
-        scale = replace(scale, total_timesteps=args.timesteps)
-
-    chosen = EXPERIMENTS[:-1] if args.experiment == "all" else (args.experiment,)
-    for name in chosen:
-        if name == "fig6":
-            print(format_fig6(fig6.run(scale, seed=args.seed, echo=args.echo)))
-        elif name == "fig7":
-            print(format_fig7(fig7.run(scale, seed=args.seed, echo=args.echo)))
-        elif name == "fig8":
-            print(format_fig8(fig8.run(scale, seed=args.seed, echo=args.echo)))
-        elif name == "throughput":
-            print(format_throughput(throughput.run(scale, seed=args.seed)))
-        elif name == "bench":
-            from repro.engine.benchmark import engine_speedup
-
-            print(format_engine_bench(engine_speedup(seed=args.seed)))
-        print()
-    return 0
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        return _cmd_legacy(args)
+    except (SpecValidationError, UnknownComponentError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like other CLIs.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

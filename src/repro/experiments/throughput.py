@@ -1,26 +1,20 @@
-"""Training-throughput parity (paper §VIII-D, prose result).
+"""Training-throughput parity — deprecation shim over the scenario API.
 
-The paper reports both agents training at roughly the same speed ("both
-agents learnt at the same rate of roughly 70 frames per second"), i.e.
-the GNN adds no learning-time overhead.  This runner measures environment
-steps per second for the MLP and the GNN agent on identical settings and
-reports the ratio.
+The §VIII-D prose result ("both agents learnt at the same rate of roughly
+70 frames per second") now lives in
+:func:`repro.api.presets.throughput_spec` (the ``throughput`` metric of
+the scenario API); :func:`run` keeps the historical surface.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.envs.reward import RewardComputer
-from repro.envs.routing_env import RoutingEnv
+from repro.api.presets import throughput_spec
+from repro.api.runner import run as run_scenario
 from repro.experiments.config import ExperimentScale, get_preset
-from repro.graphs.zoo import abilene
-from repro.policies.gnn import GNNPolicy
-from repro.policies.mlp import MLPPolicy
-from repro.rl.ppo import PPO, PPOConfig
-from repro.traffic.sequences import train_test_sequences
 
 
 @dataclass(frozen=True)
@@ -37,55 +31,17 @@ class ThroughputResult:
 
 
 def run(scale: Optional[ExperimentScale] = None, seed: int = 0) -> ThroughputResult:
-    """Time a short training run for each agent on the Fig. 6 setup."""
+    """Time a short training run for each agent on the Fig. 6 setup.
+
+    .. deprecated:: 1.1
+        Use ``repro.api.run(repro.api.presets.throughput_spec(...))`` instead.
+    """
+    warnings.warn(
+        "repro.experiments.throughput.run is a shim over "
+        "repro.api.run(throughput_spec(...)); prefer the scenario API",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     scale = scale or get_preset("quick")
-    network = abilene()
-    train_seqs, _ = train_test_sequences(
-        network.num_nodes,
-        num_train=scale.num_train_sequences,
-        num_test=scale.num_test_sequences,
-        length=scale.sequence_length,
-        cycle_length=scale.cycle_length,
-        seed=seed,
-    )
-    rewarder = RewardComputer()
-    config = PPOConfig(
-        n_steps=scale.n_steps,
-        batch_size=scale.batch_size,
-        n_epochs=scale.n_epochs,
-        learning_rate=scale.learning_rate,
-    )
-
-    def fps(policy) -> float:
-        env = RoutingEnv(
-            network,
-            train_seqs,
-            memory_length=scale.memory_length,
-            softmin_gamma=scale.softmin_gamma,
-            weight_scale=scale.weight_scale,
-            reward_computer=rewarder,
-            seed=seed,
-        )
-        ppo = PPO(policy, env, config, seed=seed)
-        # Warm the LP cache so both timings measure agent cost, not solves.
-        ppo.learn(scale.n_steps)
-        start = time.perf_counter()
-        ppo.learn(scale.total_timesteps)
-        return scale.total_timesteps / (time.perf_counter() - start)
-
-    mlp = MLPPolicy(
-        network.num_nodes,
-        network.num_edges,
-        memory_length=scale.memory_length,
-        hidden=scale.mlp_hidden,
-        seed=seed,
-        initial_log_std=scale.mlp_initial_log_std,
-    )
-    gnn = GNNPolicy(
-        memory_length=scale.memory_length,
-        latent=scale.latent,
-        hidden=scale.hidden,
-        num_processing_steps=scale.num_processing_steps,
-        seed=seed,
-    )
-    return ThroughputResult(mlp_fps=fps(mlp), gnn_fps=fps(gnn))
+    result = run_scenario(throughput_spec(scale=scale, seed=seed))
+    return ThroughputResult(mlp_fps=result.throughput["mlp"], gnn_fps=result.throughput["gnn"])

@@ -90,15 +90,24 @@ def cyclical_sequence(
         Period ``q`` (10 in the paper); each of the ``q`` block DMs is drawn
         independently from ``model``.
     model / model_kwargs:
-        Demand model name passed to :func:`repro.traffic.matrices.generate`.
+        Demand model name passed to :func:`repro.traffic.matrices.generate`,
+        or any callable with the generator protocol
+        ``(num_nodes, seed=..., **kwargs) -> ndarray`` (e.g. a model
+        registered with :func:`repro.api.register_traffic`).
     """
     if length < 1:
         raise ValueError("length must be >= 1")
     if cycle_length < 1:
         raise ValueError("cycle_length must be >= 1")
     rng = rng_from_seed(seed)
+    generator = model if callable(model) else None
     block = np.stack(
-        [matrices.generate(model, num_nodes, seed=rng, **model_kwargs) for _ in range(cycle_length)]
+        [
+            generator(num_nodes, seed=rng, **model_kwargs)
+            if generator is not None
+            else matrices.generate(model, num_nodes, seed=rng, **model_kwargs)
+            for _ in range(cycle_length)
+        ]
     )
     demands = np.stack([block[i % cycle_length] for i in range(length)])
     return DemandSequence(demands, cycle_length=cycle_length)

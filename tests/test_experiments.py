@@ -161,5 +161,5 @@ class TestRunners:
         from repro.experiments.runner import build_parser
 
         args = build_parser().parse_args(["fig6", "--preset", "quick", "--timesteps", "128"])
-        assert args.experiment == "fig6"
+        assert args.command == "fig6"
         assert args.timesteps == 128

@@ -79,11 +79,19 @@ class TestFormatting:
 
 
 class TestRunnerCLI:
-    def test_parser_defaults(self):
+    def test_legacy_parser_defaults(self):
         args = build_parser().parse_args(["fig7"])
+        assert args.command == "fig7"
         assert args.preset == "quick"
-        assert args.seed == 0
+        assert args.seed is None  # falls back to 0 inside the legacy path
         assert args.timesteps is None
+
+    def test_run_parser_defaults(self):
+        args = build_parser().parse_args(["run", "fig6"])
+        assert args.command == "run"
+        assert args.scenario == "fig6"
+        assert args.preset is None and args.seed is None
+        assert args.overrides == []
 
     def test_parser_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
@@ -98,3 +106,70 @@ class TestRunnerCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "fps" in out
+
+    def test_main_list_scenarios(self, capsys):
+        assert main(["list", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "link-failure-sweep" in out
+
+    def test_main_list_all_axes(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("topologies", "traffic", "strategies", "policies", "scenarios"):
+            assert token in out
+
+    def test_main_run_json_resolves_spec_without_running(self, capsys):
+        code = main(["run", "fig6", "--json", "--set", "traffic.model=gravity"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"model": "gravity"' in out
+
+    def test_main_run_unknown_scenario_errors(self, capsys):
+        code = main(["run", "not-a-scenario"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_main_run_bad_set_errors(self, capsys):
+        code = main(["run", "fig6", "--set", "nonsense"])
+        assert code == 2
+        assert "--set expects" in capsys.readouterr().err
+
+    def test_registered_scenario_wins_over_same_named_file(self, tmp_path, capsys, monkeypatch):
+        (tmp_path / "fig6").write_text("not json at all")
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig6", "--json"]) == 0  # registry, not the file
+        assert '"name": "fig6"' in capsys.readouterr().out
+
+    def test_json_suffix_always_reads_the_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["run", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_directory_target_is_a_clean_error(self, tmp_path, capsys):
+        target = tmp_path / "somedir.json"
+        target.mkdir()
+        assert main(["run", str(target)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestBenchPresets:
+    def test_bench_parser_accepts_preset(self):
+        args = build_parser().parse_args(["bench", "--preset", "standard"])
+        assert args.command == "bench"
+        assert args.preset == "standard"
+
+    def test_bench_workload_scales_with_preset(self):
+        from repro.engine.benchmark import BENCH_WORKLOADS, bench_workload
+
+        assert set(BENCH_WORKLOADS) == {"quick", "standard", "paper"}
+        quick, standard, paper = (
+            bench_workload("quick"), bench_workload("standard"), bench_workload("paper")
+        )
+        assert quick["num_nodes"] < standard["num_nodes"] < paper["num_nodes"]
+        assert quick["num_matrices"] < standard["num_matrices"] < paper["num_matrices"]
+
+    def test_bench_workload_unknown_preset(self):
+        from repro.engine.benchmark import bench_workload
+
+        with pytest.raises(ValueError, match="unknown bench preset"):
+            bench_workload("galactic")
