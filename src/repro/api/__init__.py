@@ -4,8 +4,11 @@ An experiment is a :class:`~repro.api.spec.ScenarioSpec`: five axes
 (topology, traffic, routing, training, evaluation) of plain data, each
 resolving through a string-keyed component registry, serialisable to/from
 JSON and validated eagerly.  :func:`run` executes any spec through the
-vectorized batch-evaluation engine; :mod:`~repro.api.presets` bundles the
-paper's figures and new scenarios as specs.
+vectorized batch-evaluation engine; :func:`sweep` fans a spec (or a grid
+of overrides) out across worker processes as single-seed sub-specs, with
+results cached per spec hash in a :class:`ResultStore`;
+:mod:`~repro.api.presets` bundles the paper's figures and new scenarios
+as specs.
 
 Quick taste::
 
@@ -50,8 +53,10 @@ from repro.api.spec import (
     TrainingSpec,
 )
 from repro.api import components as _components  # populate the registries
-from repro.api.results import EvaluationResult, LearningCurve, ScenarioResult
+from repro.api.results import EvaluationResult, LearningCurve, ScenarioResult, merge_results
 from repro.api.runner import run
+from repro.api.store import ResultStore
+from repro.api.sweep import SweepPointResult, SweepResult, decompose, expand_grid, sweep
 from repro.api.presets import (
     SCENARIOS,
     get_scenario,
@@ -86,7 +91,14 @@ __all__ = [
     "EvaluationResult",
     "LearningCurve",
     "ScenarioResult",
+    "merge_results",
     "run",
+    "sweep",
+    "decompose",
+    "expand_grid",
+    "SweepPointResult",
+    "SweepResult",
+    "ResultStore",
     "SCENARIOS",
     "get_scenario",
     "register_scenario",

@@ -1,10 +1,28 @@
-"""Result containers returned by :func:`repro.api.run`."""
+"""Result containers returned by :func:`repro.api.run`.
+
+Every container here round-trips losslessly through plain JSON-ready
+dicts (``to_dict`` / ``from_dict`` / ``to_json`` / ``from_json``): floats
+serialise via their shortest round-trip repr, so a stored
+:class:`ScenarioResult` reloads bit-identical.  That property is what lets
+the spec-hashed result store (:mod:`repro.api.store`) and the parallel
+sweep executor (:mod:`repro.api.sweep`) treat results as portable data.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from repro.engine.evaluate import EvaluationResult
+
+
+def _ratios_to_list(result: EvaluationResult) -> list:
+    return [float(r) for r in result.ratios]
+
+
+def _ratios_from_list(values: Sequence) -> EvaluationResult:
+    return EvaluationResult(tuple(float(v) for v in values))
 
 
 @dataclass(frozen=True)
@@ -18,6 +36,21 @@ class LearningCurve:
     @property
     def final_reward(self) -> float:
         return self.mean_episode_rewards[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "timesteps": [int(t) for t in self.timesteps],
+            "mean_episode_rewards": [float(r) for r in self.mean_episode_rewards],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LearningCurve":
+        return cls(
+            label=data["label"],
+            timesteps=tuple(int(t) for t in data["timesteps"]),
+            mean_episode_rewards=tuple(float(r) for r in data["mean_episode_rewards"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -72,5 +105,85 @@ class ScenarioResult:
                 out.append((sspec.key, self.strategies[sspec.key].mean))
         return out
 
+    # -- serialisation -------------------------------------------------
 
-__all__ = ["EvaluationResult", "LearningCurve", "ScenarioResult"]
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "policies": {k: _ratios_to_list(v) for k, v in self.policies.items()},
+            "strategies": {k: _ratios_to_list(v) for k, v in self.strategies.items()},
+            "per_seed": {
+                str(seed): {k: _ratios_to_list(v) for k, v in results.items()}
+                for seed, results in self.per_seed.items()
+            },
+            "curves": {
+                k: [curve.to_dict() for curve in curves] for k, curves in self.curves.items()
+            },
+            "throughput": {k: float(v) for k, v in self.throughput.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioResult":
+        from repro.api.spec import ScenarioSpec
+
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            policies={k: _ratios_from_list(v) for k, v in data.get("policies", {}).items()},
+            strategies={k: _ratios_from_list(v) for k, v in data.get("strategies", {}).items()},
+            per_seed={
+                int(seed): {k: _ratios_from_list(v) for k, v in results.items()}
+                for seed, results in data.get("per_seed", {}).items()
+            },
+            curves={
+                k: tuple(LearningCurve.from_dict(c) for c in curves)
+                for k, curves in data.get("curves", {}).items()
+            },
+            throughput={k: float(v) for k, v in data.get("throughput", {}).items()},
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioResult":
+        return cls.from_dict(json.loads(text))
+
+
+def merge_results(spec, parts: Sequence[ScenarioResult]) -> ScenarioResult:
+    """Pool per-seed partial results into one :class:`ScenarioResult`.
+
+    ``parts`` must be single-seed results in the order of
+    ``spec.evaluation.seeds``; pooling reproduces :func:`repro.api.run`'s
+    semantics exactly — ratios concatenate across parts per label, curves
+    concatenate per label, ``per_seed`` unions (seeds are unique by spec
+    validation), and throughput averages the per-seed samples — so merging
+    a decomposed sweep is bit-identical to one in-process ``run(spec)``.
+    """
+    policy_ratios: dict[str, list] = {}
+    strategy_ratios: dict[str, list] = {}
+    per_seed: dict[int, dict[str, EvaluationResult]] = {}
+    curves: dict[str, list[LearningCurve]] = {}
+    fps_samples: dict[str, list[float]] = {}
+
+    for part in parts:
+        for label, result in part.policies.items():
+            policy_ratios.setdefault(label, []).extend(result.ratios)
+        for label, result in part.strategies.items():
+            strategy_ratios.setdefault(label, []).extend(result.ratios)
+        per_seed.update(part.per_seed)
+        for label, part_curves in part.curves.items():
+            curves.setdefault(label, []).extend(part_curves)
+        for label, fps in part.throughput.items():
+            fps_samples.setdefault(label, []).append(fps)
+
+    return ScenarioResult(
+        spec=spec,
+        policies={k: EvaluationResult(tuple(v)) for k, v in policy_ratios.items()},
+        strategies={k: EvaluationResult(tuple(v)) for k, v in strategy_ratios.items()},
+        per_seed=per_seed,
+        curves={k: tuple(v) for k, v in curves.items()},
+        throughput={k: sum(v) / len(v) for k, v in fps_samples.items()},
+    )
+
+
+__all__ = ["EvaluationResult", "LearningCurve", "ScenarioResult", "merge_results"]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 
 from repro.api.registry import POLICIES, STRATEGIES, TOPOLOGIES, TRAFFIC_MODELS
-from repro.api.results import EvaluationResult, LearningCurve, ScenarioResult
+from repro.api.results import EvaluationResult, LearningCurve, ScenarioResult, merge_results
 from repro.api.spec import PolicySpec, ScenarioSpec, SpecValidationError
 from repro.engine.evaluate import batch_evaluate, batch_evaluate_routing, warm_lp_cache
 from repro.envs.iterative_env import IterativeRoutingEnv
@@ -115,13 +115,20 @@ class _SeedRun:
         self.rewarder = RewardComputer()
         self.model = TRAFFIC_MODELS.get(spec.traffic.model)
         traffic = spec.traffic
+        # ``is not None`` throughout: an explicit spec value always wins,
+        # even one that happens to be falsy (spec validation rejects
+        # non-positive values, but the fallback must never mask them).
         self.seq_kwargs = dict(
-            num_train=traffic.num_train or self.scale.num_train_sequences,
+            num_train=traffic.num_train
+            if traffic.num_train is not None
+            else self.scale.num_train_sequences,
             num_test=traffic.num_test
             if traffic.num_test is not None
             else self.scale.num_test_sequences,
-            length=traffic.length or self.scale.sequence_length,
-            cycle_length=traffic.cycle_length or self.scale.cycle_length,
+            length=traffic.length if traffic.length is not None else self.scale.sequence_length,
+            cycle_length=traffic.cycle_length
+            if traffic.cycle_length is not None
+            else self.scale.cycle_length,
             model=self.model,
             **traffic.params,
         )
@@ -282,13 +289,54 @@ class _SeedRun:
         return out
 
 
+def _run_seed(spec: ScenarioSpec, seed: int, echo: bool) -> ScenarioResult:
+    """One evaluation seed's complete pipeline as a single-seed result.
+
+    This is the sweep executor's unit of work: :func:`run` merges these
+    per-seed parts through :func:`repro.api.results.merge_results`, and
+    :func:`repro.api.sweep.sweep` runs the same parts in worker processes
+    — one pooling implementation serves both paths.
+    """
+    metrics = spec.evaluation.metrics
+    policies: dict[str, EvaluationResult] = {}
+    strategies: dict[str, EvaluationResult] = {}
+    per_seed: dict[int, dict[str, EvaluationResult]] = {}
+    curves: dict[str, tuple[LearningCurve, ...]] = {}
+    throughput: dict[str, float] = {}
+
+    seed_run = _SeedRun(spec, seed, echo)
+    if "utilisation_ratio" in metrics or "learning_curve" in metrics:
+        trained = seed_run.train_policies()
+        if "learning_curve" in metrics:
+            curves = {label: (curve,) for label, (_, _, curve) in trained.items()}
+        if "utilisation_ratio" in metrics:
+            policies = seed_run.evaluate_policies(trained)
+            strategies = seed_run.evaluate_strategies()
+            per_seed[seed] = {**policies, **strategies}
+    if "throughput" in metrics:
+        throughput = seed_run.measure_throughput()
+
+    return ScenarioResult(
+        spec=spec,
+        policies=policies,
+        strategies=strategies,
+        per_seed=per_seed,
+        curves=curves,
+        throughput=throughput,
+    )
+
+
 def run(spec: ScenarioSpec, echo: bool = False) -> ScenarioResult:
     """Execute a scenario spec end-to-end and return its results.
 
     Builds the topology and traffic workload, trains every learned policy,
     evaluates policies and fixed strategies through the vectorized batch
     engine, and repeats the whole pipeline for each evaluation seed —
-    ratios pool across seeds, learning curves are kept per seed.
+    ratios pool across seeds, learning curves are kept per seed.  The
+    pooling itself is :func:`repro.api.results.merge_results` over the
+    per-seed parts, the same merge the sweep executor applies to
+    fanned-out sub-runs, so ``sweep(spec, workers=k)`` stays bit-identical
+    to ``run(spec)`` by construction.
 
     Parameters
     ----------
@@ -300,42 +348,8 @@ def run(spec: ScenarioSpec, echo: bool = False) -> ScenarioResult:
     """
     if not isinstance(spec, ScenarioSpec):
         spec = ScenarioSpec.from_dict(spec)
-    metrics = spec.evaluation.metrics
-
-    policy_ratios: dict[str, list] = {}
-    strategy_ratios: dict[str, list] = {}
-    per_seed: dict[int, dict[str, EvaluationResult]] = {}
-    curves: dict[str, list[LearningCurve]] = {}
-    fps_samples: dict[str, list[float]] = {}
-
-    for seed in spec.evaluation.seeds:
-        seed_run = _SeedRun(spec, seed, echo)
-        if "utilisation_ratio" in metrics or "learning_curve" in metrics:
-            trained = seed_run.train_policies()
-            if "learning_curve" in metrics:
-                for label, (_, _, curve) in trained.items():
-                    curves.setdefault(label, []).append(curve)
-            if "utilisation_ratio" in metrics:
-                seed_results: dict[str, EvaluationResult] = {}
-                seed_results.update(seed_run.evaluate_policies(trained))
-                for label, result in seed_results.items():
-                    policy_ratios.setdefault(label, []).extend(result.ratios)
-                strat = seed_run.evaluate_strategies()
-                for label, result in strat.items():
-                    strategy_ratios.setdefault(label, []).extend(result.ratios)
-                seed_results.update(strat)
-                per_seed[seed] = seed_results
-        if "throughput" in metrics:
-            for label, fps in seed_run.measure_throughput().items():
-                fps_samples.setdefault(label, []).append(fps)
-
-    return ScenarioResult(
-        spec=spec,
-        policies={k: EvaluationResult(tuple(v)) for k, v in policy_ratios.items()},
-        strategies={k: EvaluationResult(tuple(v)) for k, v in strategy_ratios.items()},
-        per_seed=per_seed,
-        curves={k: tuple(v) for k, v in curves.items()},
-        throughput={k: sum(v) / len(v) for k, v in fps_samples.items()},
+    return merge_results(
+        spec, [_run_seed(spec, seed, echo) for seed in spec.evaluation.seeds]
     )
 
 

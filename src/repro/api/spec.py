@@ -17,7 +17,9 @@ message instead of a stack trace from deep inside a builder.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import operator
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping, Optional
 
@@ -49,6 +51,26 @@ def _jsonify(value: Any) -> Any:
     raise SpecValidationError(
         f"spec parameters must be JSON-serialisable, got {type(value).__name__}: {value!r}"
     )
+
+
+def _coerce_int(owner: str, value: Any, minimum: int) -> int:
+    """Coerce an integral value (int, np.int64, ...) with a lower bound.
+
+    Sweep arithmetic and ``--set`` overrides naturally produce numpy
+    integer scalars; those coerce losslessly.  Bools, floats and anything
+    else without ``__index__`` are rejected.
+    """
+    if isinstance(value, bool):
+        raise SpecValidationError(f"{owner} must be an int, got {value!r}")
+    try:
+        value = operator.index(value)
+    except TypeError:
+        raise SpecValidationError(
+            f"{owner} must be an int, got {type(value).__name__}: {value!r}"
+        ) from None
+    if value < minimum:
+        raise SpecValidationError(f"{owner} must be >= {minimum}, got {value}")
+    return value
 
 
 def _check_params(owner: str, params: Any) -> dict:
@@ -115,14 +137,15 @@ class TrafficSpec:
             raise UnknownComponentError("traffic model", self.model, TRAFFIC_MODELS.names())
         object.__setattr__(self, "model", str(self.model).lower())
         object.__setattr__(self, "params", _check_params("traffic", self.params))
-        for name in ("length", "cycle_length", "num_train"):
+        for name, minimum in (
+            ("length", 1),
+            ("cycle_length", 1),
+            ("num_train", 1),
+            ("num_test", 0),
+        ):
             value = getattr(self, name)
-            if value is not None and (not isinstance(value, int) or value < 1):
-                raise SpecValidationError(f"traffic.{name} must be a positive int, got {value!r}")
-        if self.num_test is not None and (not isinstance(self.num_test, int) or self.num_test < 0):
-            raise SpecValidationError(
-                f"traffic.num_test must be a non-negative int, got {self.num_test!r}"
-            )
+            if value is not None:
+                object.__setattr__(self, name, _coerce_int(f"traffic.{name}", value, minimum))
 
     def to_dict(self) -> dict:
         return {
@@ -309,10 +332,30 @@ class EvaluationSpec:
             )
         if not metrics:
             raise SpecValidationError("evaluation.metrics must name at least one metric")
-        seeds = tuple(self.seeds)
-        if not seeds or not all(isinstance(s, int) for s in seeds):
+        raw = self.seeds
+        if isinstance(raw, (str, bytes)):
             raise SpecValidationError(
-                f"evaluation.seeds must be a non-empty list of ints, got {list(self.seeds)!r}"
+                f"evaluation.seeds must be a non-empty list of ints, got {raw!r}"
+            )
+        try:
+            raw = [raw] if isinstance(raw, bool) else [operator.index(raw)]
+        except TypeError:
+            try:
+                raw = list(raw)
+            except TypeError:
+                raise SpecValidationError(
+                    f"evaluation.seeds must be a non-empty list of ints, got {raw!r}"
+                ) from None
+        # numpy's SeedSequence rejects negative entropy, so a negative seed
+        # must fail here, not deep inside a traffic builder (or a worker).
+        seeds = tuple(_coerce_int("evaluation.seeds", s, 0) for s in raw)
+        if not seeds:
+            raise SpecValidationError("evaluation.seeds must name at least one seed")
+        duplicates = sorted({s for s in seeds if seeds.count(s) > 1})
+        if duplicates:
+            raise SpecValidationError(
+                f"evaluation.seeds must be unique (seeds key per-seed results and "
+                f"sweep sub-runs); duplicated: {duplicates}"
             )
         object.__setattr__(self, "metrics", metrics)
         object.__setattr__(self, "seeds", seeds)
@@ -399,6 +442,23 @@ class ScenarioSpec:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    def canonical_json(self) -> str:
+        """Deterministic compact JSON (sorted keys, no whitespace).
+
+        This is the hashing pre-image for :meth:`spec_hash`: two specs that
+        validate to the same dict form always canonicalise identically,
+        regardless of construction order or JSON formatting.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_json`.
+
+        Content-addresses this spec in :class:`repro.api.store.ResultStore`
+        and keys sweep sub-run deduplication.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":

@@ -1,0 +1,103 @@
+"""Content-addressed on-disk store for scenario results.
+
+A :class:`ResultStore` maps a :class:`~repro.api.spec.ScenarioSpec` to its
+:class:`~repro.api.results.ScenarioResult` through the spec's content hash
+(canonical JSON → SHA-256, :meth:`ScenarioSpec.spec_hash`).  The layout is
+two-level to keep directories small at scale::
+
+    <root>/
+      <hh>/                 # first two hex digits of the spec hash
+        <spec_hash>.json    # {"format": 1, "hash": ..., "result": {...}}
+
+Writes are atomic (temp file + ``os.replace``) so an interrupted sweep
+never leaves a truncated entry; unreadable or corrupt entries read as
+cache misses and are overwritten by the next ``put``.  Because the hash
+covers the *entire* spec — topology, traffic, routing, training overrides,
+metrics and seeds — any change to an experiment recomputes, while repeated
+sweeps over the same grid resume from whatever already finished.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.api.results import ScenarioResult
+from repro.api.spec import ScenarioSpec, SpecValidationError
+
+#: Bump when the on-disk entry schema changes; older entries read as misses.
+STORE_FORMAT = 1
+
+
+class ResultStore:
+    """Spec-hash-keyed persistence for :class:`ScenarioResult` objects."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.directory)!r}, entries={len(self)})"
+
+    def path_for(self, spec_or_hash: Union[ScenarioSpec, str]) -> Path:
+        """The entry path for a spec (or a precomputed spec hash)."""
+        digest = (
+            spec_or_hash if isinstance(spec_or_hash, str) else spec_or_hash.spec_hash()
+        )
+        return self.directory / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        """The stored result for ``spec``, or ``None`` on any miss.
+
+        Missing, truncated, corrupt and wrong-format entries all read as
+        misses — the caller recomputes and ``put`` replaces the entry.
+        """
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict) or data.get("format") != STORE_FORMAT:
+            return None
+        try:
+            return ScenarioResult.from_dict(data["result"])
+        except (KeyError, TypeError, ValueError, SpecValidationError):
+            return None
+
+    def put(self, spec: ScenarioSpec, result: ScenarioResult) -> Path:
+        """Persist ``result`` under ``spec``'s hash atomically; returns the path."""
+        digest = spec.spec_hash()
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"format": STORE_FORMAT, "hash": digest, "result": result.to_dict()},
+            indent=2,
+        )
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, spec: ScenarioSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    def hashes(self) -> list[str]:
+        """Every stored spec hash, sorted."""
+        return sorted(path.stem for path in self.directory.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.hashes())
+
+
+__all__ = ["STORE_FORMAT", "ResultStore"]

@@ -39,16 +39,28 @@ from repro.utils.seeding import SeedLike, rng_from_seed
 
 @dataclass(frozen=True)
 class EvaluationResult:
-    """Utilisation ratios collected over an evaluation pass."""
+    """Utilisation ratios collected over an evaluation pass.
+
+    An *empty* result (``count == 0``) is well-defined: ``mean`` and
+    ``std`` return NaN silently, without numpy's empty-slice
+    RuntimeWarning.  Empty results occur legitimately — e.g.
+    :func:`batch_evaluate_routing` when ``memory_length`` consumes an
+    entire sequence — so aggregation code must branch on ``count``, not on
+    warnings.
+    """
 
     ratios: tuple
 
     @property
     def mean(self) -> float:
+        if not self.ratios:
+            return float("nan")
         return float(np.mean(self.ratios))
 
     @property
     def std(self) -> float:
+        if not self.ratios:
+            return float("nan")
         return float(np.std(self.ratios))
 
     @property

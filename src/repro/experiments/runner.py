@@ -8,6 +8,12 @@ Usage::
     python -m repro.experiments.runner run fig6 --set traffic.model=gravity \
         --set topology.name=abilene --set training.total_timesteps=512
 
+    # Fan a scenario out across processes, caching results per spec hash
+    python -m repro.experiments.runner sweep fig6 --grid evaluation.seeds=0,1 \
+        --workers 2 --store results/
+    python -m repro.experiments.runner sweep fig6 --grid traffic.model=bimodal,gravity \
+        --grid evaluation.seeds=0,1,2 --workers 4 --store results/
+
     # Discover what the registries provide
     python -m repro.experiments.runner list scenarios
     python -m repro.experiments.runner list topologies
@@ -36,6 +42,8 @@ from repro.api.registry import UnknownComponentError, registry_for
 from repro.api.presets import SCENARIOS, get_scenario
 from repro.api.runner import run as run_scenario
 from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.api.store import ResultStore
+from repro.api.sweep import sweep as run_sweep
 from repro.experiments.config import PRESETS, get_preset
 from repro.experiments.reporting import (
     format_engine_bench,
@@ -43,6 +51,7 @@ from repro.experiments.reporting import (
     format_fig7,
     format_fig8,
     format_scenario,
+    format_sweep,
     format_throughput,
 )
 
@@ -93,6 +102,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="as_json",
         help="print the resolved spec as JSON and exit without running",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="fan a scenario out across worker processes, one sub-run per "
+        "(grid point, seed), caching results per spec hash",
+    )
+    sweep_p.add_argument(
+        "scenario", help="scenario name (see 'list scenarios') or path to a JSON spec"
+    )
+    _add_scale_options(sweep_p)
+    sweep_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help="dotted-path spec override applied before the grid expands",
+    )
+    sweep_p.add_argument(
+        "--grid",
+        dest="grid",
+        action="append",
+        default=[],
+        metavar="PATH=V1,V2,...",
+        help="sweep axis: dotted path with comma-separated values "
+        "(repeat for a multi-axis grid; values parse as JSON with string fallback)",
+    )
+    sweep_p.add_argument(
+        "--workers", type=int, default=1, help="worker process count (1 = in-process)"
+    )
+    sweep_p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result-store directory; finished sub-runs persist per spec hash "
+        "and later sweeps resume from them",
+    )
+    sweep_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip store lookups (re-execute everything) but still write results back",
+    )
+    sweep_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the resolved spec and grid as JSON and exit without running",
     )
 
     list_p = sub.add_parser("list", help="list registered components or scenarios")
@@ -178,6 +235,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid(entries: list[str]) -> dict[str, list]:
+    """``PATH=V1,V2,...`` flags into a grid mapping, preserving flag order."""
+    grid: dict[str, list] = {}
+    for entry in entries:
+        path, sep, raw = entry.partition("=")
+        if not sep or not path or not raw:
+            raise SpecValidationError(
+                f"--grid expects PATH=V1,V2,... (e.g. evaluation.seeds=0,1), got {entry!r}"
+            )
+        values = []
+        for chunk in raw.split(","):
+            try:
+                values.append(json.loads(chunk))
+            except json.JSONDecodeError:
+                values.append(chunk)
+        if path in grid:
+            raise SpecValidationError(f"--grid axis {path!r} given more than once")
+        grid[path] = values
+    return grid
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    grid = _parse_grid(args.grid)
+    if args.as_json:
+        print(json.dumps({"spec": spec.to_dict(), "grid": grid}, indent=2))
+        return 0
+    result = run_sweep(
+        spec,
+        grid=grid,
+        workers=args.workers,
+        store=ResultStore(args.store) if args.store else None,
+        use_cache=not args.no_cache,
+        echo=args.echo,
+    )
+    print(format_sweep(result, store_dir=args.store))
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     axes = [a for a in LIST_AXES if a != "all"] if args.axis == "all" else [args.axis]
     for axis in axes:
@@ -233,6 +329,8 @@ def main(argv=None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "list":
             return _cmd_list(args)
         if args.command == "bench":

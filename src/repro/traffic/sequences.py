@@ -126,11 +126,14 @@ def train_test_sequences(
     """The paper's split: 7 training and 3 test sequences of 60 DMs.
 
     Each sequence gets an independent RNG stream derived from ``seed``, so
-    train and test sets never share demand blocks.
+    train and test sets never share demand blocks.  ``seed`` must be an
+    integer (any integral type — numpy scalars from sweep arithmetic are
+    coerced losslessly) or ``None`` for OS entropy; anything else raises
+    instead of silently producing an irreproducible split.
     """
     if num_train < 1 or num_test < 0:
         raise ValueError("need num_train >= 1 and num_test >= 0")
-    streams = spawn_rngs(seed if isinstance(seed, int) else None, num_train + num_test)
+    streams = spawn_rngs(seed, num_train + num_test)
     sequences = [
         cyclical_sequence(
             num_nodes, length, cycle_length, seed=stream, model=model, **model_kwargs

@@ -9,6 +9,7 @@ determines a run.
 
 from __future__ import annotations
 
+import operator
 from typing import Union
 
 import numpy as np
@@ -27,9 +28,22 @@ def rng_from_seed(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` statistically independent generators from ``seed``."""
+def spawn_rngs(seed: int | np.integer | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    ``seed`` must be an integer (integral numpy scalars coerce losslessly)
+    or ``None`` for OS entropy.  Anything else raises instead of silently
+    falling back to entropy and producing irreproducible streams.
+    """
     if count < 0:
         raise ValueError("count must be non-negative")
-    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    if seed is not None and not isinstance(seed, int):
+        try:
+            seed = operator.index(seed)
+        except TypeError:
+            raise TypeError(
+                f"seed must be an int, an integral numpy scalar, or None; "
+                f"got {type(seed).__name__}: {seed!r}"
+            ) from None
+    root = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in root.spawn(count)]

@@ -2,6 +2,7 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro import api
@@ -125,6 +126,48 @@ class TestSpecValidation:
         with pytest.raises(api.SpecValidationError, match="not valid JSON"):
             api.ScenarioSpec.from_json("{nope")
 
+    @pytest.mark.parametrize("field", ["length", "cycle_length", "num_train"])
+    def test_explicit_zero_traffic_field_rejected(self, field):
+        # An explicit 0 must fail validation, never silently fall back to
+        # the training scale's value (the old truthiness-fallback bug).
+        with pytest.raises(api.SpecValidationError, match=f"traffic.{field}"):
+            api.TrafficSpec(**{field: 0})
+
+    def test_bool_traffic_field_rejected(self):
+        with pytest.raises(api.SpecValidationError, match="traffic.length"):
+            api.TrafficSpec(length=True)
+
+    def test_numpy_integer_traffic_fields_coerced(self):
+        spec = api.TrafficSpec(length=np.int64(8), num_train=np.int64(2))
+        assert spec.length == 8 and type(spec.length) is int
+        assert spec.num_train == 2 and type(spec.num_train) is int
+        json.dumps(spec.to_dict())  # JSON-clean after coercion
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(api.SpecValidationError, match="duplicated: \\[3\\]"):
+            api.EvaluationSpec(seeds=(0, 3, 3))
+
+    def test_numpy_integer_seeds_coerced(self):
+        spec = api.EvaluationSpec(seeds=(np.int64(0), np.int64(5)))
+        assert spec.seeds == (0, 5)
+        assert all(type(s) is int for s in spec.seeds)
+        json.dumps(spec.to_dict())
+
+    def test_scalar_seed_wrapped(self):
+        # ``--grid evaluation.seeds=0,1`` assigns one scalar per point.
+        assert api.EvaluationSpec(seeds=3).seeds == (3,)
+
+    def test_non_integer_seeds_rejected(self):
+        for bad in ((0, 1.5), (), "ab", (True,)):
+            with pytest.raises(api.SpecValidationError, match="seeds"):
+                api.EvaluationSpec(seeds=bad)
+
+    def test_negative_seeds_rejected_at_validation(self):
+        # numpy's SeedSequence rejects negative entropy; fail here with the
+        # field named, not deep inside a traffic builder (or a worker).
+        with pytest.raises(api.SpecValidationError, match="evaluation.seeds"):
+            api.EvaluationSpec(seeds=(0, -1))
+
     def test_strings_coerce_to_component_specs(self):
         spec = api.ScenarioSpec(
             name="coerce",
@@ -182,6 +225,28 @@ class TestRoundTrip:
         again = roundtrip(spec)
         assert again == spec
         assert again.training.scale().mlp_hidden == (32, 32)
+
+
+class TestSpecHash:
+    def test_equal_specs_hash_identically_across_construction_paths(self):
+        built = api.ScenarioSpec(
+            name="hash-me",
+            routing={"strategies": ["shortest_path"]},
+            evaluation={"metrics": ["utilisation_ratio"], "seeds": [0, 1]},
+        )
+        rebuilt = roundtrip(built)
+        assert built.canonical_json() == rebuilt.canonical_json()
+        assert built.spec_hash() == rebuilt.spec_hash()
+        assert len(built.spec_hash()) == 64  # sha256 hex
+
+    def test_any_field_change_changes_the_hash(self):
+        base = api.get_scenario("fig6")
+        assert base.spec_hash() != base.with_updates({"evaluation.seeds": [1]}).spec_hash()
+        assert base.spec_hash() != base.with_updates({"traffic.model": "gravity"}).spec_hash()
+        assert (
+            base.spec_hash()
+            != base.with_updates({"training.overrides.total_timesteps": 512}).spec_hash()
+        )
 
 
 class TestSpecUpdates:

@@ -6,6 +6,9 @@ scalar reference paths (``vectorized=False``) to 1e-8 on random graphs, and
 checks the batch-evaluation API reproduces the environment-driven results.
 """
 
+import math
+import warnings
+
 import numpy as np
 import pytest
 
@@ -185,6 +188,44 @@ class TestZeroDemandBehaviour:
         )
         assert result.combined.count == 3
         assert result.combined.ratios[1] == 1.0
+
+
+class TestEmptyEvaluationResult:
+    """Empty results (count == 0) are NaN, silently — never a RuntimeWarning."""
+
+    def test_mean_and_std_are_nan_without_warning(self):
+        result = EvaluationResult(())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.count == 0
+            assert math.isnan(result.mean)
+            assert math.isnan(result.std)
+            assert "nan" in repr(result)
+
+    def test_batch_combined_path_empty(self):
+        batched = BatchEvaluationResult((EvaluationResult(()),))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert batched.combined.count == 0
+            assert math.isnan(batched.mean)
+
+    def test_routing_path_with_memory_consuming_whole_sequence(self):
+        # memory_length >= len(sequence) leaves no post-warmup steps: the
+        # result is legitimately empty, not a warning storm.
+        net = abilene()
+        sequence = cyclical_sequence(net.num_nodes, 4, 2, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = batch_evaluate_routing(
+                shortest_path_routing, net, [sequence], memory_length=4
+            )
+            assert result.combined.count == 0
+            assert math.isnan(result.combined.mean)
+
+    def test_nonempty_results_unchanged(self):
+        result = EvaluationResult((1.0, 2.0, 3.0))
+        assert result.mean == pytest.approx(2.0)
+        assert result.std == pytest.approx(np.std([1.0, 2.0, 3.0]))
 
 
 class TestBatchEvaluate:

@@ -28,6 +28,12 @@ class TestFormatting:
         assert len(_bar(99.0)) == 20  # clamped at maximum
         assert 0 < len(_bar(1.2)) < 20
 
+    def test_bar_handles_non_finite_means(self):
+        # An empty EvaluationResult pools to a NaN mean; the formatters
+        # must render it, not crash converting NaN to a bar width.
+        assert _bar(float("nan")) == ""
+        assert _bar(float("inf")) == ""
+
     def test_format_fig6_contains_all_rows(self):
         result = Fig6Result(
             mlp=eval_result(1.18),

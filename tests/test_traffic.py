@@ -158,3 +158,20 @@ class TestTrainTestSplit:
     def test_validation(self):
         with pytest.raises(ValueError):
             train_test_sequences(5, num_train=0)
+
+    def test_numpy_integer_seed_matches_python_int(self):
+        # Sweep/--set arithmetic produces np.int64 seeds; they must select
+        # the same split as the equivalent Python int, not fall back to
+        # OS entropy.
+        kwargs = dict(num_train=2, num_test=1, length=4, cycle_length=2)
+        a_train, a_test = train_test_sequences(5, seed=np.int64(9), **kwargs)
+        b_train, b_test = train_test_sequences(5, seed=9, **kwargs)
+        np.testing.assert_array_equal(a_train[0].demands, b_train[0].demands)
+        np.testing.assert_array_equal(a_train[1].demands, b_train[1].demands)
+        np.testing.assert_array_equal(a_test[0].demands, b_test[0].demands)
+
+    def test_non_integral_seed_rejected(self):
+        kwargs = dict(num_train=1, num_test=1, length=4, cycle_length=2)
+        for bad in (1.5, "7", np.random.default_rng(0)):
+            with pytest.raises(TypeError, match="seed must be an int"):
+                train_test_sequences(5, seed=bad, **kwargs)

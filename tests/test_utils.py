@@ -40,6 +40,17 @@ class TestSeeding:
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
 
+    def test_spawn_coerces_numpy_integer_seed(self):
+        a = spawn_rngs(np.int64(7), 2)[0].random(3)
+        b = spawn_rngs(7, 2)[0].random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_rejects_non_integral_seed(self):
+        # The old silent None fallback made such streams irreproducible.
+        for bad in (1.5, "7", np.random.default_rng(0)):
+            with pytest.raises(TypeError, match="seed must be an int"):
+                spawn_rngs(bad, 2)
+
 
 class TestValidation:
     def test_check_positive(self):
