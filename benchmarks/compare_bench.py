@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare a pytest-benchmark run to the baseline.
+
+Reads the JSON produced by ``pytest benchmarks/test_microbench.py
+--benchmark-json current.json`` and compares each benchmark's median
+against the committed baseline (``benchmarks/BENCH_baseline.json``),
+failing on regressions.  Two comparison modes:
+
+* **normalized** (the default, used by CI): every median is divided by the
+  same run's reference benchmark (``--normalize-by``, default the scalar
+  evaluation loop) before comparing, so absolute machine speed cancels and
+  the gate measures *relative* hot-path cost — a benchmark regresses when
+  its cost grows against pure-python/numpy work on the same box.
+* **raw** (``--no-normalize``): medians compare directly; only meaningful
+  against a baseline recorded on comparable hardware.
+
+Independently of the baseline, the gate enforces the engine speedup floor
+within the current run: the scalar reference median divided by the batched
+engine median must stay ≥ ``--min-speedup`` (machine-independent by
+construction).
+
+A delta table prints to stdout, and — when ``$GITHUB_STEP_SUMMARY`` is set
+— as a markdown table into the CI job summary.
+
+Usage::
+
+    python benchmarks/compare_bench.py current.json
+    python benchmarks/compare_bench.py current.json --max-slowdown 0.25
+    python benchmarks/compare_bench.py current.json --update-baseline
+
+``--update-baseline`` distils the current run into the baseline file
+(benchmark name -> median seconds) instead of gating; commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_BASELINE = HERE / "BENCH_baseline.json"
+DEFAULT_REFERENCE = "test_scalar_reference_evaluation"
+ENGINE_SCALAR = "test_scalar_reference_evaluation"
+ENGINE_BATCHED = "test_batched_engine_evaluation"
+BASELINE_FORMAT = 1
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    """``benchmark name -> median seconds`` from either JSON layout.
+
+    Accepts both the raw pytest-benchmark output (``{"benchmarks": [...]}``
+    with per-entry ``stats.median``) and the distilled baseline layout
+    (``{"benchmarks": {name: median}}``).
+    """
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read benchmark JSON {path}: {exc}")
+    benchmarks = data.get("benchmarks")
+    if isinstance(benchmarks, dict):
+        return {str(name): float(median) for name, median in benchmarks.items()}
+    if isinstance(benchmarks, list):
+        medians = {}
+        for entry in benchmarks:
+            medians[str(entry["name"])] = float(entry["stats"]["median"])
+        return medians
+    raise SystemExit(f"error: {path} has no 'benchmarks' section")
+
+
+def write_baseline(path: Path, medians: dict[str, float], normalize_by: str) -> None:
+    payload = {
+        "format": BASELINE_FORMAT,
+        "normalize_by": normalize_by,
+        "benchmarks": {name: medians[name] for name in sorted(medians)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    *,
+    max_slowdown: float,
+    normalize_by: str | None,
+) -> tuple[list[tuple[str, float, float, float, str]], list[str]]:
+    """Per-benchmark deltas and the list of failure messages.
+
+    Rows are ``(name, base_value, current_value, delta_fraction, status)``
+    where values are medians (raw mode) or medians relative to the
+    reference benchmark (normalized mode) and ``delta_fraction`` is
+    ``current / base - 1`` (positive = slower).
+    """
+    failures: list[str] = []
+
+    def values(medians: dict[str, float], label: str) -> dict[str, float]:
+        if normalize_by is None:
+            return dict(medians)
+        ref = medians.get(normalize_by)
+        if not ref:
+            raise SystemExit(
+                f"error: reference benchmark {normalize_by!r} missing from {label} "
+                "(pass --no-normalize or a different --normalize-by)"
+            )
+        return {name: median / ref for name, median in medians.items()}
+
+    base_values = values(baseline, "the baseline")
+    current_values = values(current, "the current run")
+
+    rows = []
+    for name in sorted(set(base_values) | set(current_values)):
+        if name == normalize_by:
+            continue
+        base = base_values.get(name)
+        now = current_values.get(name)
+        if base is None:
+            rows.append((name, float("nan"), now, float("nan"), "new"))
+            continue
+        if now is None:
+            rows.append((name, base, float("nan"), float("nan"), "missing"))
+            failures.append(
+                f"benchmark {name!r} is in the baseline but missing from the "
+                "current run (renamed or deleted? update the baseline)"
+            )
+            continue
+        delta = now / base - 1.0
+        if delta > max_slowdown:
+            status = "FAIL"
+            failures.append(
+                f"benchmark {name!r} regressed {delta:+.1%} "
+                f"(limit {max_slowdown:+.0%})"
+            )
+        else:
+            status = "ok"
+        rows.append((name, base, now, delta, status))
+    return rows, failures
+
+
+def check_speedup_floor(current: dict[str, float], min_speedup: float) -> tuple[float, str | None]:
+    """The scalar/batched engine ratio within the current run."""
+    scalar = current.get(ENGINE_SCALAR)
+    batched = current.get(ENGINE_BATCHED)
+    if not scalar or not batched:
+        return float("nan"), (
+            f"cannot compute the engine speedup floor: {ENGINE_SCALAR!r} or "
+            f"{ENGINE_BATCHED!r} missing from the current run"
+        )
+    speedup = scalar / batched
+    if speedup < min_speedup:
+        return speedup, (
+            f"engine speedup floor violated: scalar/batched = {speedup:.1f}x "
+            f"< required {min_speedup:.1f}x"
+        )
+    return speedup, None
+
+
+def _cell(value: float, fmt: str, nan: str) -> str:
+    """Format a table value, rendering NaN (new/missing rows) as ``nan``."""
+    return nan if value != value else format(value, fmt)
+
+
+def render_text(rows, speedup, min_speedup, normalized: bool) -> str:
+    unit = "median vs reference" if normalized else "median (s)"
+    lines = [
+        f"Benchmark regression gate ({unit}; delta > 0 means slower)",
+        "",
+        f"  {'benchmark':<42} {'baseline':>12} {'current':>12} {'delta':>8}  status",
+    ]
+    for name, base, now, delta, status in rows:
+        lines.append(
+            f"  {name:<42} {_cell(base, '12.4f', '-'):>12} "
+            f"{_cell(now, '12.4f', '-'):>12} {_cell(delta, '+7.1%', '-'):>8}  {status}"
+        )
+    lines.append("")
+    lines.append(
+        f"  engine speedup (scalar/batched, this run): {speedup:.1f}x "
+        f"(floor {min_speedup:.1f}x)"
+    )
+    return "\n".join(lines)
+
+
+def render_markdown(rows, speedup, min_speedup, normalized: bool) -> str:
+    unit = "median / reference" if normalized else "median (s)"
+    lines = [
+        "### Benchmark regression gate",
+        "",
+        f"| benchmark | baseline ({unit}) | current | delta | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name, base, now, delta, status in rows:
+        mark = "❌" if status == "FAIL" else status
+        lines.append(
+            f"| `{name}` | {_cell(base, '.4f', '–')} | {_cell(now, '.4f', '–')} "
+            f"| {_cell(delta, '+.1%', '–')} | {mark} |"
+        )
+    lines.append("")
+    lines.append(
+        f"Engine speedup this run: **{speedup:.1f}x** (floor {min_speedup:.1f}x)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="pytest-benchmark JSON of the run to gate")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=0.25,
+        help="fail when a benchmark is more than this fraction slower (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail when the in-run scalar/batched engine ratio drops below this",
+    )
+    parser.add_argument(
+        "--normalize-by",
+        default=DEFAULT_REFERENCE,
+        help="reference benchmark medians divide through before comparing",
+    )
+    parser.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="compare raw medians (baseline must come from comparable hardware)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_medians(args.current)
+    if args.update_baseline:
+        write_baseline(args.baseline, current, args.normalize_by)
+        print(f"baseline updated: {args.baseline} ({len(current)} benchmarks)")
+        return 0
+
+    normalize_by = None if args.no_normalize else args.normalize_by
+    baseline = load_medians(args.baseline)
+    rows, failures = compare(
+        current, baseline, max_slowdown=args.max_slowdown, normalize_by=normalize_by
+    )
+    speedup, floor_failure = check_speedup_floor(current, args.min_speedup)
+    if floor_failure:
+        failures.append(floor_failure)
+
+    print(render_text(rows, speedup, args.min_speedup, normalize_by is not None))
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(
+                render_markdown(rows, speedup, args.min_speedup, normalize_by is not None)
+                + "\n"
+            )
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.graphs import Network, abilene, nsfnet
 from repro.traffic import cyclical_sequence, train_test_sequences
 from repro.flows import solve_optimal_max_utilisation, max_link_utilisation, utilisation_ratio
 from repro.routing import softmin_routing, shortest_path_routing, ecmp_routing
+from repro.engine.backend import FactorisationCache, default_backend, select_backend
 from repro.engine.evaluate import batch_evaluate, batch_evaluate_routing
 from repro.envs import RoutingEnv, IterativeRoutingEnv, MultiGraphRoutingEnv
 from repro.policies import MLPPolicy, GNNPolicy, IterativeGNNPolicy
@@ -59,6 +60,9 @@ __all__ = [
     "ecmp_routing",
     "batch_evaluate",
     "batch_evaluate_routing",
+    "FactorisationCache",
+    "default_backend",
+    "select_backend",
     "RoutingEnv",
     "IterativeRoutingEnv",
     "MultiGraphRoutingEnv",

@@ -255,6 +255,96 @@ def strategy_grid_spec() -> ScenarioSpec:
     )
 
 
+# ---------------------------------------------------------------------------
+# Large-topology scenarios — the sparse solver backend's home turf
+# ---------------------------------------------------------------------------
+#
+# Demand on these graphs is deliberately very sparse (a handful of active
+# node pairs): that matches how carrier-scale traffic matrices actually
+# look, and it keeps the LP reward denominator tractable — each distinct
+# DM's optimum is one solve over the active destinations only.
+
+
+def zoo_large_sparse_spec() -> ScenarioSpec:
+    """Classical baselines on a Cogent-scale 197-node sparse topology."""
+    return ScenarioSpec(
+        name="zoo-large-sparse",
+        description="197-node Cogent-scale zoo topology, sparse demand, "
+        "classical baselines on the sparse solver backend",
+        topology=TopologySpec("cogent-like"),
+        traffic=TrafficSpec(
+            "sparse",
+            params={"density": 0.0005, "mean": 2000.0, "std": 400.0},
+            length=8,
+            cycle_length=2,
+            num_train=1,
+            num_test=1,
+        ),
+        routing=RoutingSpec(
+            strategies=(StrategySpec("shortest_path"), StrategySpec("ecmp")),
+        ),
+        training=TrainingSpec("quick"),
+        evaluation=EvaluationSpec(
+            metrics=("utilisation_ratio",), seeds=(0,), backend="sparse"
+        ),
+    )
+
+
+def random_sparse_240_spec() -> ScenarioSpec:
+    """A 240-node random-sparse preset that exercises the ``auto`` rule."""
+    return ScenarioSpec(
+        name="random-sparse-240",
+        description="240-node random sparse topology; backend 'auto' picks "
+        "the sparse solver by the node-count/density rule",
+        topology=TopologySpec(
+            "random", {"num_nodes": 240, "extra_edges": 80, "seed": 7}
+        ),
+        traffic=TrafficSpec(
+            "sparse",
+            params={"density": 0.0004, "mean": 2500.0, "std": 500.0},
+            length=8,
+            cycle_length=2,
+            num_train=1,
+            num_test=1,
+        ),
+        routing=RoutingSpec(
+            strategies=(
+                StrategySpec("shortest_path"),
+                StrategySpec("inverse_weight"),
+            ),
+        ),
+        training=TrainingSpec("quick"),
+        evaluation=EvaluationSpec(
+            metrics=("utilisation_ratio",), seeds=(0,), backend="auto"
+        ),
+    )
+
+
+def zoo_kdl_sparse_spec() -> ScenarioSpec:
+    """The largest embedded topology (256-node Kdl-style carrier graph)."""
+    return ScenarioSpec(
+        name="zoo-kdl-sparse",
+        description="256-node Kdl-style carrier backbone, very sparse demand, "
+        "shortest path vs ECMP on the sparse backend",
+        topology=TopologySpec("kdl-like"),
+        traffic=TrafficSpec(
+            "sparse",
+            params={"density": 0.0003, "mean": 3000.0, "std": 600.0},
+            length=6,
+            cycle_length=2,
+            num_train=1,
+            num_test=1,
+        ),
+        routing=RoutingSpec(
+            strategies=(StrategySpec("shortest_path"), StrategySpec("ecmp")),
+        ),
+        training=TrainingSpec("quick"),
+        evaluation=EvaluationSpec(
+            metrics=("utilisation_ratio",), seeds=(0,), backend="sparse"
+        ),
+    )
+
+
 register_scenario(fig6_spec)
 register_scenario(fig7_spec)
 register_scenario(fig8_modifications_spec)
@@ -263,6 +353,9 @@ register_scenario(throughput_spec)
 register_scenario(zoo_gravity_burst_spec)
 register_scenario(link_failure_sweep_spec)
 register_scenario(strategy_grid_spec)
+register_scenario(zoo_large_sparse_spec)
+register_scenario(random_sparse_240_spec)
+register_scenario(zoo_kdl_sparse_spec)
 
 
 __all__ = [
@@ -278,4 +371,7 @@ __all__ = [
     "zoo_gravity_burst_spec",
     "link_failure_sweep_spec",
     "strategy_grid_spec",
+    "zoo_large_sparse_spec",
+    "random_sparse_240_spec",
+    "zoo_kdl_sparse_spec",
 ]

@@ -203,7 +203,12 @@ class _SeedRun:
 
     def train_policies(self) -> dict[str, tuple[object, bool, LearningCurve]]:
         """Train every policy in spec order; returns label -> (policy, iterative, curve)."""
-        if self.single:
+        if self.single and self.spec.routing.policies:
+            # Strategy-only scenarios skip the warm pass: without training
+            # there is no rollout to interleave with LP solves, and the
+            # evaluation fills the same cache lazily with exactly the
+            # optima it needs (large sparse topologies would otherwise pay
+            # for training sequences nothing ever consumes).
             warm_lp_cache(
                 self.train_graphs[0], self.train_seqs + self.test_seqs, self.rewarder
             )
@@ -245,6 +250,7 @@ class _SeedRun:
                 softmin_gamma=self.scale.softmin_gamma,
                 weight_scale=self.scale.weight_scale,
                 reward_computer=self.rewarder,
+                backend=self.spec.evaluation.backend,
             ).combined
         return out
 
@@ -258,6 +264,7 @@ class _SeedRun:
                 groups,
                 memory_length=self.scale.memory_length,
                 reward_computer=self.rewarder,
+                backend=self.spec.evaluation.backend,
             ).combined
         return out
 

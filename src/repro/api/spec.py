@@ -30,6 +30,7 @@ from repro.api.registry import (
     TRAFFIC_MODELS,
     UnknownComponentError,
 )
+from repro.engine.backend import BACKENDS
 from repro.experiments.config import ExperimentScale, PRESETS, scale_field_names, scaled
 
 #: Metrics :func:`repro.api.run` knows how to collect.
@@ -318,12 +319,24 @@ class TrainingSpec:
 
 @dataclass(frozen=True)
 class EvaluationSpec:
-    """The evaluation axis: which metrics to collect and over which seeds."""
+    """The evaluation axis: metrics, seeds, and the solver backend.
+
+    ``backend`` selects the balance-system solver the evaluation runs on
+    (``"auto"``/``"dense"``/``"sparse"``, see :mod:`repro.engine.backend`);
+    ``"auto"`` applies the node-count/edge-density rule per topology, while
+    large-topology presets pin ``"sparse"`` explicitly.
+    """
 
     metrics: tuple = ("utilisation_ratio",)
     seeds: tuple = (0,)
+    backend: str = "auto"
 
     def __post_init__(self):
+        if not isinstance(self.backend, str) or self.backend.lower() not in BACKENDS:
+            raise SpecValidationError(
+                f"evaluation.backend must be one of {list(BACKENDS)}, got {self.backend!r}"
+            )
+        object.__setattr__(self, "backend", self.backend.lower())
         metrics = tuple(self.metrics)
         unknown = sorted(set(metrics) - set(KNOWN_METRICS))
         if unknown:
@@ -361,7 +374,15 @@ class EvaluationSpec:
         object.__setattr__(self, "seeds", seeds)
 
     def to_dict(self) -> dict:
-        return {"metrics": list(self.metrics), "seeds": list(self.seeds)}
+        # ``backend`` is emitted only when it deviates from the default:
+        # the dict form feeds ``canonical_json`` → ``spec_hash``, and an
+        # always-present key would silently orphan every pre-backend
+        # ResultStore entry (sweep resume would re-execute everything).
+        # ``from_dict`` restores the omitted key to ``"auto"``.
+        data = {"metrics": list(self.metrics), "seeds": list(self.seeds)}
+        if self.backend != "auto":
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "EvaluationSpec":

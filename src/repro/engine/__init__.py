@@ -9,6 +9,10 @@ batch evaluation API built on top of them:
 * :mod:`~repro.engine.simulator_batch` — stacked ``(I - Pᵀ)`` balance
   systems solved in one batched LAPACK call, with a factorised
   multi-right-hand-side path for fixed routings over demand sequences;
+* :mod:`~repro.engine.backend` — dense/sparse solver selection
+  (``backend="auto"|"dense"|"sparse"``: sparse ``splu`` factorisations for
+  large low-density topologies, shared across solves through a keyed
+  :class:`FactorisationCache`);
 * :mod:`~repro.engine.evaluate` — :func:`batch_evaluate` /
   :func:`batch_evaluate_routing`, evaluating many traffic matrices, seeds
   and topologies per call;
@@ -20,6 +24,18 @@ The scalar implementations remain available (``vectorized=False`` on
 tests compare against.
 """
 
+from repro.engine.backend import (
+    BACKENDS,
+    SPARSE_MAX_DENSITY,
+    SPARSE_MIN_NODES,
+    FactorisationCache,
+    active_default,
+    check_backend,
+    default_backend,
+    edge_density,
+    select_backend,
+    shared_factorisation_cache,
+)
 from repro.engine.softmin_batch import (
     batch_distances_to_targets,
     batch_prune_by_distance,
@@ -33,6 +49,16 @@ from repro.engine.simulator_batch import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "SPARSE_MIN_NODES",
+    "SPARSE_MAX_DENSITY",
+    "FactorisationCache",
+    "active_default",
+    "check_backend",
+    "default_backend",
+    "edge_density",
+    "select_backend",
+    "shared_factorisation_cache",
     "batch_distances_to_targets",
     "batch_prune_by_distance",
     "batch_softmin_ratios",
@@ -49,6 +75,10 @@ __all__ = [
     "engine_speedup",
     "BENCH_WORKLOADS",
     "bench_workload",
+    "BackendBenchmark",
+    "backend_comparison",
+    "SPARSE_BENCH_NODES",
+    "sparse_bench_nodes",
 ]
 
 _LAZY = {
@@ -61,6 +91,10 @@ _LAZY = {
     "engine_speedup": "repro.engine.benchmark",
     "BENCH_WORKLOADS": "repro.engine.benchmark",
     "bench_workload": "repro.engine.benchmark",
+    "BackendBenchmark": "repro.engine.benchmark",
+    "backend_comparison": "repro.engine.benchmark",
+    "SPARSE_BENCH_NODES": "repro.engine.benchmark",
+    "sparse_bench_nodes": "repro.engine.benchmark",
 }
 
 

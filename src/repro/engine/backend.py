@@ -1,0 +1,223 @@
+"""Solver backend selection and the shared factorisation cache.
+
+The balance systems ``(I - Pᵀ) x = b`` the simulator solves are extremely
+sparse on real topologies — a node's row has one entry per in-edge, and ISP
+graphs carry average degrees of 2–6 regardless of size — so from a couple
+of hundred nodes upward a sparse LU factorisation
+(:func:`scipy.sparse.linalg.splu`) beats the dense stacked LAPACK solve,
+and the gap widens cubically with node count.  This module holds the three
+pieces that decide *which* solver runs:
+
+* **backend names** — every solve entry point takes
+  ``backend="auto" | "dense" | "sparse"``.  ``"dense"``/``"sparse"`` force
+  an implementation; ``"auto"`` applies the selection rule below (after
+  consulting the ambient default, see :func:`default_backend`).
+* **the selection rule** — sparse iff the topology has at least
+  :data:`SPARSE_MIN_NODES` nodes **and** directed edge density
+  ``num_edges / (n * (n - 1))`` at most :data:`SPARSE_MAX_DENSITY`.  Dense
+  LAPACK wins below the node floor (the per-system Python loop dominates),
+  and dense graphs give LU factors with no sparsity to exploit.
+* **:class:`FactorisationCache`** — for a *fixed* routing the
+  per-destination systems never change, so their LU factorisations are
+  shared across repeated solves (evaluation passes over cyclical traffic,
+  PPO minibatch evaluation steps revisiting the same deterministic
+  routing), mirroring how ``warm_lp_cache`` shares LP optima.  The sparse
+  path uses the module-level shared cache unless handed a private one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+
+import numpy as np
+from scipy.sparse import csc_matrix, identity
+from scipy.sparse.linalg import splu
+
+from repro.graphs.network import Network
+
+#: Valid values for every ``backend=`` parameter in the engine.
+BACKENDS = ("auto", "dense", "sparse")
+
+#: ``auto`` never picks sparse below this node count: per-system Python
+#: overhead outweighs the LAPACK batch until the cubic term dominates
+#: (measured crossover ≈ 200 nodes on ISP-like sparsity, cold caches).
+SPARSE_MIN_NODES = 192
+
+#: ``auto`` never picks sparse above this directed edge density — dense
+#: graphs leave the LU factors with nothing to exploit.
+SPARSE_MAX_DENSITY = 0.05
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend name, returning it lower-cased."""
+    if not isinstance(backend, str) or backend.lower() not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {list(BACKENDS)}, got {backend!r}"
+        )
+    return backend.lower()
+
+
+def edge_density(network: Network) -> float:
+    """Directed edge density ``num_edges / (n * (n - 1))``."""
+    n = network.num_nodes
+    return network.num_edges / (n * (n - 1))
+
+
+# The ambient default consulted by ``backend="auto"`` call sites; rebound
+# by :func:`default_backend` so high-level entry points (``batch_evaluate``)
+# can steer every solve underneath them without threading a parameter
+# through the environment layer.
+_ACTIVE_DEFAULT = "auto"
+
+
+def active_default() -> str:
+    """The backend ``"auto"`` currently resolves through (default ``"auto"``)."""
+    return _ACTIVE_DEFAULT
+
+
+@contextmanager
+def default_backend(backend: str):
+    """Rebind what ``backend="auto"`` means for the duration of the block.
+
+    ``"auto"`` inside the block falls through to the size/density rule as
+    usual; ``"dense"``/``"sparse"`` pin every auto call site.  Explicit
+    non-auto arguments at a call site always win over the ambient default.
+    """
+    global _ACTIVE_DEFAULT
+    previous = _ACTIVE_DEFAULT
+    _ACTIVE_DEFAULT = check_backend(backend)
+    try:
+        yield
+    finally:
+        _ACTIVE_DEFAULT = previous
+
+
+def select_backend(network: Network, backend: str = "auto") -> str:
+    """Resolve a backend request to ``"dense"`` or ``"sparse"``.
+
+    Explicit requests pass through; ``"auto"`` consults the ambient default
+    (:func:`default_backend`) and then the selection rule: sparse iff
+    ``num_nodes >= SPARSE_MIN_NODES`` and
+    ``edge_density(network) <= SPARSE_MAX_DENSITY``.
+    """
+    backend = check_backend(backend)
+    if backend == "auto":
+        backend = _ACTIVE_DEFAULT
+    if backend != "auto":
+        return backend
+    if (
+        network.num_nodes >= SPARSE_MIN_NODES
+        and edge_density(network) <= SPARSE_MAX_DENSITY
+    ):
+        return "sparse"
+    return "dense"
+
+
+def sparse_balance_system(
+    network: Network, row: np.ndarray, target: int
+) -> csc_matrix:
+    """Assemble one ``I - Pᵀ`` balance system as CSC.
+
+    Identical entries to the dense ``_stacked_systems`` member: transposed
+    splitting ratios negated, the destination's forwarding row zeroed (it
+    absorbs), unit diagonal added.
+    """
+    # The dense member is ``M[v, u] = -ratio(u→v)`` with the destination's
+    # *outgoing* entries (sender == target) zeroed: the destination absorbs,
+    # so its forwarding ratios — column ``target`` after the transpose —
+    # never re-inject flow.
+    keep = network.senders != target
+    system = csc_matrix(
+        (-row[keep], (network.receivers[keep], network.senders[keep])),
+        shape=(network.num_nodes, network.num_nodes),
+    )
+    return system + identity(network.num_nodes, format="csc")
+
+
+def factorise_balance_system(network: Network, row: np.ndarray, target: int):
+    """``splu`` factorisation of one destination's balance system.
+
+    Raises :class:`~repro.engine.simulator_batch.RoutingLoopError` naming
+    the destination when the system is singular (a zero-leak routing loop),
+    matching the dense path's error semantics.
+    """
+    from repro.engine.simulator_batch import RoutingLoopError
+
+    try:
+        return splu(sparse_balance_system(network, row, target))
+    except RuntimeError as error:
+        raise RoutingLoopError(
+            f"routing to destination {int(target)} traps flow in a loop: {error}"
+        ) from None
+
+
+class FactorisationCache:
+    """LRU cache of per-destination ``splu`` factorisations.
+
+    Keys are exact: ``(topology structure, destination, ratio-row bytes)``
+    — capacities are irrelevant to the balance system and excluded.  A hit
+    returns the shared ``SuperLU`` object; repeated solves against the same
+    fixed routing (evaluation over cyclical sequences, PPO minibatch
+    evaluation steps) then skip straight to back-substitution, the same
+    amortisation ``warm_lp_cache`` provides for LP optima.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._store: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def factorisation(self, network: Network, row: np.ndarray, target: int):
+        """The LU factorisation for ``row``'s system, cached."""
+        key = (network.num_nodes, network.edges, int(target), row.tobytes())
+        cached = self._store.get(key)
+        if cached is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        factor = factorise_balance_system(network, row, target)
+        self._store[key] = factor
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return factor
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: Factorisations shared by every sparse solve that is not handed a private
+#: cache — this is what lets separate ``batch_evaluate`` calls and PPO
+#: minibatch evaluation steps reuse each other's work.
+SHARED_FACTORISATION_CACHE = FactorisationCache(max_entries=256)
+
+
+def shared_factorisation_cache() -> FactorisationCache:
+    """The process-wide default :class:`FactorisationCache`."""
+    return SHARED_FACTORISATION_CACHE
+
+
+__all__ = [
+    "BACKENDS",
+    "SPARSE_MIN_NODES",
+    "SPARSE_MAX_DENSITY",
+    "check_backend",
+    "edge_density",
+    "active_default",
+    "default_backend",
+    "select_backend",
+    "sparse_balance_system",
+    "factorise_balance_system",
+    "FactorisationCache",
+    "SHARED_FACTORISATION_CACHE",
+    "shared_factorisation_cache",
+]

@@ -1,10 +1,11 @@
-"""Scalar-vs-batched timing of the evaluation hot path.
+"""Scalar-vs-batched and dense-vs-sparse timing of the evaluation hot path.
 
-Drives both implementations of the softmin-translate + simulate loop on the
-same workload and reports the wall-clock speedup.  Used by the
-``benchmarks/test_microbench.py`` acceptance check (≥ 5× on a 20-node graph
-with a full demand matrix) and by ``python -m repro.experiments.runner
-bench`` for a human-readable report.
+Drives the implementations of the softmin-translate + simulate loop on the
+same workload and reports the wall-clock speedups.  Used by the
+``benchmarks/test_microbench.py`` acceptance checks (≥ 5× batched-vs-scalar
+on a 20-node graph; sparse faster than dense on a large sparse topology)
+and by ``python -m repro.experiments.runner bench`` for a human-readable
+report.
 """
 
 from __future__ import annotations
@@ -12,6 +13,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.engine.backend import FactorisationCache, select_backend
 from repro.engine.simulator_batch import destination_link_loads_sequence
 from repro.graphs.generators import random_connected_network
 from repro.routing.softmin import softmin_routing
@@ -114,4 +116,107 @@ def engine_speedup(
         num_matrices=num_matrices,
         scalar_seconds=best_of(_evaluate_scalar),
         batched_seconds=best_of(_evaluate_batched),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dense vs sparse backend comparison
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackendBenchmark:
+    """One dense-vs-sparse measurement of the destination-sequence solves."""
+
+    num_nodes: int
+    num_edges: int
+    num_matrices: int
+    dense_seconds: float
+    sparse_seconds: float
+    #: What ``backend="auto"`` picks for this topology (the selection rule).
+    auto_backend: str
+
+    @property
+    def speedup(self) -> float:
+        """Sparse speedup over dense (< 1 means dense is faster)."""
+        return self.dense_seconds / max(self.sparse_seconds, 1e-12)
+
+
+#: Topology sizes per experiment-scale preset for the dense-vs-sparse
+#: comparison table (``runner bench`` and the nightly benchmark workflow).
+#: Each preset spans the crossover: dense wins at the small end, sparse at
+#: the large end.
+SPARSE_BENCH_NODES: dict[str, tuple[int, ...]] = {
+    "quick": (96, 192, 256),
+    "standard": (96, 192, 320),
+    "paper": (128, 256, 512),
+}
+
+
+def sparse_bench_nodes(preset: str) -> tuple[int, ...]:
+    """The :func:`backend_comparison` sizes for a named preset."""
+    try:
+        return SPARSE_BENCH_NODES[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench preset {preset!r}; choose from {sorted(SPARSE_BENCH_NODES)}"
+        ) from None
+
+
+def backend_comparison(
+    num_nodes: int,
+    extra_edges: int | None = None,
+    num_matrices: int = 4,
+    gamma: float = 2.0,
+    seed: int = 0,
+    repeats: int = 3,
+) -> BackendBenchmark:
+    """Time the dense and sparse backends on one fixed-routing workload.
+
+    The workload is an ISP-like random sparse topology (average degree
+    ≈ 2.7 by default: ``extra_edges = num_nodes // 3``) carrying
+    ``num_matrices`` full demand matrices through one softmin routing —
+    the :func:`destination_link_loads_sequence` path both backends serve.
+    Each timed call includes factorisation (a fresh private cache per call,
+    so cache warmth does not flatter the sparse numbers), and both
+    backends' loads are asserted equal to 1e-8 before timing.
+    """
+    if extra_edges is None:
+        extra_edges = max(8, num_nodes // 3)
+    network = random_connected_network(num_nodes, extra_edges, seed=seed)
+    rng = rng_from_seed(seed)
+    weights = rng.uniform(0.3, 3.0, network.num_edges)
+    table = softmin_routing(network, weights, gamma=gamma).destination_table()
+    demands = np.stack(
+        [
+            uniform_matrix(num_nodes, seed=seed + i, low=1.0, high=1000.0)
+            for i in range(num_matrices)
+        ]
+    )
+
+    def dense():
+        return destination_link_loads_sequence(network, table, demands, backend="dense")
+
+    def sparse():
+        return destination_link_loads_sequence(
+            network, table, demands, backend="sparse", cache=FactorisationCache()
+        )
+
+    np.testing.assert_allclose(sparse(), dense(), atol=1e-8)
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return BackendBenchmark(
+        num_nodes=num_nodes,
+        num_edges=network.num_edges,
+        num_matrices=num_matrices,
+        dense_seconds=best_of(dense),
+        sparse_seconds=best_of(sparse),
+        auto_backend=select_backend(network),
     )

@@ -27,6 +27,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.engine.backend import check_backend, default_backend
 from repro.engine.simulator_batch import destination_link_loads_sequence
 from repro.envs.iterative_env import IterativeRoutingEnv
 from repro.envs.reward import RewardComputer
@@ -209,6 +210,7 @@ def batch_evaluate(
     weight_scale: float = 3.0,
     reward_computer: Optional[RewardComputer] = None,
     seed: SeedLike = 0,
+    backend: str = "auto",
 ) -> BatchEvaluationResult:
     """Evaluate one policy over many (network, demand-sequence) workloads.
 
@@ -231,6 +233,12 @@ def batch_evaluate(
         Optionally share an LP cache with training/evaluation elsewhere.
     seed:
         Rollout seed (only used for tie-breaking; actions are deterministic).
+    backend:
+        Balance-system solver for the rollouts' flow simulation
+        (``"auto"``/``"dense"``/``"sparse"``).  The rollout goes through
+        the real environments, so the choice is installed as the ambient
+        default (:func:`repro.engine.backend.default_backend`) rather than
+        threaded through every layer.
 
     Returns
     -------
@@ -239,21 +247,22 @@ def batch_evaluate(
     """
     rewarder = reward_computer or RewardComputer()
     results = []
-    for network, sequences in _as_groups(networks, traffic_sequences):
-        warm_lp_cache(network, sequences, rewarder, memory_length)
-        results.append(
-            _rollout_policy(
-                policy,
-                network,
-                sequences,
-                iterative=iterative,
-                memory_length=memory_length,
-                softmin_gamma=softmin_gamma,
-                weight_scale=weight_scale,
-                rewarder=rewarder,
-                seed=seed,
+    with default_backend(backend):
+        for network, sequences in _as_groups(networks, traffic_sequences):
+            warm_lp_cache(network, sequences, rewarder, memory_length)
+            results.append(
+                _rollout_policy(
+                    policy,
+                    network,
+                    sequences,
+                    iterative=iterative,
+                    memory_length=memory_length,
+                    softmin_gamma=softmin_gamma,
+                    weight_scale=weight_scale,
+                    rewarder=rewarder,
+                    seed=seed,
+                )
             )
-        )
     return BatchEvaluationResult(tuple(results))
 
 
@@ -264,14 +273,18 @@ def batch_evaluate_routing(
     *,
     memory_length: int = 5,
     reward_computer: Optional[RewardComputer] = None,
+    backend: str = "auto",
 ) -> BatchEvaluationResult:
     """Evaluate a fixed routing over whole demand sequences, batched.
 
     ``routing`` is either a concrete strategy (single-network case) or a
     factory called once per network (e.g. ``shortest_path_routing``).
     Destination-based strategies take the factorised sequence path: one
-    multi-RHS solve per destination covers every post-warmup demand matrix.
+    multi-RHS solve per destination covers every post-warmup demand matrix
+    — on the sparse ``backend`` that is one shared ``splu`` factorisation
+    per destination.
     """
+    check_backend(backend)
     rewarder = reward_computer or RewardComputer()
     results = []
     for network, sequences in _as_groups(networks, traffic_sequences):
@@ -287,7 +300,7 @@ def batch_evaluate_routing(
         stacked = np.stack(demands)
         if isinstance(strategy, DestinationRouting):
             loads = destination_link_loads_sequence(
-                network, strategy.destination_table(), stacked
+                network, strategy.destination_table(), stacked, backend=backend
             )
             utilisations = (loads / network.capacities).max(axis=1)
             ratios = tuple(
@@ -295,8 +308,9 @@ def batch_evaluate_routing(
                 for u, dm in zip(utilisations, stacked)
             )
         else:
-            ratios = tuple(
-                rewarder.utilisation_ratio(network, strategy, dm) for dm in stacked
-            )
+            with default_backend(backend):
+                ratios = tuple(
+                    rewarder.utilisation_ratio(network, strategy, dm) for dm in stacked
+                )
         results.append(EvaluationResult(ratios))
     return BatchEvaluationResult(tuple(results))

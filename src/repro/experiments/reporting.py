@@ -180,3 +180,26 @@ def format_engine_bench(result) -> str:
             f"  speedup: {result.speedup:.1f}x (acceptance floor: 5x)",
         ]
     )
+
+
+def format_backend_bench(results) -> str:
+    """Dense-vs-sparse backend comparison as a per-size table.
+
+    ``results`` is a list of :class:`repro.engine.benchmark.BackendBenchmark`;
+    the ``auto`` column shows what the selection rule would pick for each
+    topology (sparse speedups < 1 at small sizes are expected — that is
+    exactly why ``auto`` keeps dense there).
+    """
+    lines = [
+        "Solver backend - dense stacked LAPACK vs sparse splu factorisation",
+        "  (fixed-routing sequence solves; 'auto' = what backend selection picks)",
+        "",
+        "  nodes  edges  DMs   dense (ms)  sparse (ms)  sparse speedup  auto",
+    ]
+    for r in results:
+        lines.append(
+            f"  {r.num_nodes:>5}  {r.num_edges:>5}  {r.num_matrices:>3}"
+            f"  {r.dense_seconds * 1e3:>10.2f}  {r.sparse_seconds * 1e3:>11.2f}"
+            f"  {r.speedup:>13.2f}x  {r.auto_backend}"
+        )
+    return "\n".join(lines)

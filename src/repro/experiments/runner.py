@@ -46,6 +46,7 @@ from repro.api.store import ResultStore
 from repro.api.sweep import sweep as run_sweep
 from repro.experiments.config import PRESETS, get_preset
 from repro.experiments.reporting import (
+    format_backend_bench,
     format_engine_bench,
     format_fig6,
     format_fig7,
@@ -156,7 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
     list_p.add_argument("axis", nargs="?", default="all", choices=LIST_AXES)
 
     bench_p = sub.add_parser(
-        "bench", help="time the batch evaluation engine against the scalar reference"
+        "bench",
+        help="time the batch evaluation engine against the scalar reference "
+        "and the sparse backend against the dense one",
     )
     bench_p.add_argument(
         "--preset",
@@ -165,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench workload size (see repro.engine.benchmark.BENCH_WORKLOADS)",
     )
     bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument(
+        "--sparse-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compare dense vs sparse at one topology size instead of the "
+        "preset's size ladder (repro.engine.benchmark.SPARSE_BENCH_NODES)",
+    )
 
     for name in LEGACY_EXPERIMENTS:
         legacy = sub.add_parser(name, help=f"[legacy] {name} via the deprecation shims")
@@ -286,10 +297,30 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.engine.benchmark import bench_workload, engine_speedup
+    from repro.engine.benchmark import (
+        backend_comparison,
+        bench_workload,
+        engine_speedup,
+        sparse_bench_nodes,
+    )
 
+    if args.sparse_nodes is not None and args.sparse_nodes < 16:
+        raise SpecValidationError(
+            f"--sparse-nodes must be >= 16, got {args.sparse_nodes}"
+        )
     workload = bench_workload(args.preset)
     print(format_engine_bench(engine_speedup(seed=args.seed, **workload)))
+    print()
+    sizes = (
+        (args.sparse_nodes,)
+        if args.sparse_nodes is not None
+        else sparse_bench_nodes(args.preset)
+    )
+    print(
+        format_backend_bench(
+            [backend_comparison(num_nodes=n, seed=args.seed) for n in sizes]
+        )
+    )
     return 0
 
 

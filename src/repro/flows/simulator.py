@@ -110,6 +110,7 @@ def link_loads(
     routing: RoutingStrategy,
     demand_matrix: np.ndarray,
     vectorized: bool = True,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Total flow per edge when ``routing`` carries ``demand_matrix``.
 
@@ -117,7 +118,10 @@ def link_loads(
     (the default) destination-based routings are simulated with one batched
     solve over all active destinations and per-flow routings with one
     batched solve over all positive-demand flows; ``vectorized=False``
-    forces the original scalar loop.
+    forces the original scalar loop.  ``backend`` picks the balance-system
+    solver (``"auto"``/``"dense"``/``"sparse"``, see
+    :mod:`repro.engine.backend`); the scalar path is dense by definition
+    and ignores it.
     """
     demand = check_square_matrix("demand_matrix", demand_matrix)
     if demand.shape[0] != network.num_nodes:
@@ -128,7 +132,9 @@ def link_loads(
     if not vectorized:
         return _link_loads_scalar(network, routing, demand)
     if isinstance(routing, DestinationRouting):
-        return destination_link_loads(network, routing.destination_table(), demand)
+        return destination_link_loads(
+            network, routing.destination_table(), demand, backend=backend
+        )
     if routing.destination_based:
         return _link_loads_scalar(network, routing, demand)
     flows = [
@@ -137,7 +143,7 @@ def link_loads(
         for t in range(network.num_nodes)
         if s != t and demand[s, t] > 0.0
     ]
-    return flow_link_loads(network, flows)
+    return flow_link_loads(network, flows, backend=backend)
 
 
 def average_link_utilisation(

@@ -89,6 +89,13 @@ _SYNTHETIC_SPECS: dict[str, tuple[int, int, int]] = {
     "garr-like": (16, 9, 106),      # GARR-B scale
     "att-like": (25, 31, 107),      # ATT North America scale
     "claranet-like": (15, 3, 108),  # Claranet-scale sparse graph
+    # Large sparse members for the sparse solver backend.  Sized after the
+    # zoo's big carrier topologies: Cogentco has 197 nodes / 245 links and
+    # Kdl (the zoo's largest) 754 nodes / 899 links — the kdl stand-in is
+    # scaled to 256 nodes at the same ~1.2 links-per-node sparsity so CI
+    # can afford it.
+    "cogent-like": (197, 48, 109),  # Cogentco: 197 nodes, 245 links
+    "kdl-like": (256, 62, 110),     # Kdl-style sparse carrier backbone
 }
 
 TOPOLOGY_NAMES: tuple[str, ...] = ("abilene", "nsfnet") + tuple(sorted(_SYNTHETIC_SPECS))

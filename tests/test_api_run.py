@@ -119,6 +119,27 @@ class TestNewScenariosFromJSON:
             assert label in out
 
 
+class TestSparseBackendScenarios:
+    """The large-topology presets exercise the sparse solver end-to-end."""
+
+    def test_zoo_large_sparse_runs_through_cli(self, capsys):
+        assert main(["run", "zoo-large-sparse", "--preset", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "zoo-large-sparse" in out
+        assert "shortest_path" in out and "ecmp" in out
+
+    def test_backend_choice_does_not_change_results(self):
+        base = api.get_scenario("zoo-large-sparse")
+        dense = api.run(base.with_updates({"evaluation.backend": "dense"}))
+        sparse = api.run(base.with_updates({"evaluation.backend": "sparse"}))
+        for label in ("shortest_path", "ecmp"):
+            np.testing.assert_allclose(
+                sparse.strategies[label].ratios,
+                dense.strategies[label].ratios,
+                rtol=1e-8,
+            )
+
+
 class TestRunSemantics:
     def test_multi_seed_pools_ratios(self):
         spec = api.ScenarioSpec(

@@ -168,6 +168,53 @@ class TestSpecValidation:
         with pytest.raises(api.SpecValidationError, match="evaluation.seeds"):
             api.EvaluationSpec(seeds=(0, -1))
 
+    def test_backend_defaults_to_auto(self):
+        assert api.EvaluationSpec().backend == "auto"
+
+    @pytest.mark.parametrize("backend", ["auto", "dense", "sparse", "SPARSE"])
+    def test_valid_backends_accepted_lowercased(self, backend):
+        assert api.EvaluationSpec(backend=backend).backend == backend.lower()
+
+    @pytest.mark.parametrize("backend", ["cuda", "", 3, None])
+    def test_invalid_backend_rejected(self, backend):
+        with pytest.raises(api.SpecValidationError, match="evaluation.backend"):
+            api.EvaluationSpec(backend=backend)
+
+    def test_default_backend_omitted_from_dict_form(self):
+        # The dict form feeds spec_hash: the default must serialise exactly
+        # as before the field existed, so PR-3 ResultStore entries (and
+        # sweep resume) stay valid across the upgrade.
+        assert "backend" not in api.EvaluationSpec().to_dict()
+        assert api.EvaluationSpec(backend="sparse").to_dict()["backend"] == "sparse"
+        spec = api.ScenarioSpec(name="h", routing={"strategies": ["shortest_path"]})
+        assert roundtrip(spec) == spec
+        assert '"backend"' not in spec.canonical_json()
+
+    def test_backend_roundtrips(self):
+        spec = api.ScenarioSpec(
+            name="be",
+            routing={"strategies": ["shortest_path"]},
+            evaluation={"metrics": ["utilisation_ratio"], "seeds": [0], "backend": "sparse"},
+        )
+        assert roundtrip(spec) == spec
+        assert roundtrip(spec).evaluation.backend == "sparse"
+
+    def test_backend_settable_via_dotted_override(self):
+        spec = api.get_scenario("fig6").with_updates({"evaluation.backend": "dense"})
+        assert spec.evaluation.backend == "dense"
+
+    def test_large_topology_presets_pin_or_auto_select_sparse(self):
+        assert api.get_scenario("zoo-large-sparse").evaluation.backend == "sparse"
+        assert api.get_scenario("zoo-kdl-sparse").evaluation.backend == "sparse"
+        # random-sparse-240 leaves "auto" on purpose: the selection rule
+        # itself must pick sparse for its 240-node low-density topology.
+        spec = api.get_scenario("random-sparse-240")
+        assert spec.evaluation.backend == "auto"
+        from repro.engine import select_backend
+
+        built = api.TOPOLOGIES.get(spec.topology.name)(**spec.topology.params)
+        assert select_backend(built) == "sparse"
+
     def test_strings_coerce_to_component_specs(self):
         spec = api.ScenarioSpec(
             name="coerce",

@@ -13,12 +13,18 @@ import numpy as np
 import pytest
 
 from repro.engine import (
+    SPARSE_MAX_DENSITY,
+    SPARSE_MIN_NODES,
+    FactorisationCache,
     batch_distances_to_targets,
     batch_prune_by_distance,
     batch_softmin_ratios,
+    default_backend,
     destination_link_loads,
     destination_link_loads_sequence,
     flow_link_loads,
+    select_backend,
+    shared_factorisation_cache,
 )
 from repro.engine.evaluate import (
     BatchEvaluationResult,
@@ -167,6 +173,211 @@ class TestBatchSimulator:
         assert loads[net.edge_index[(0, 1)]] == pytest.approx(4.0)
 
 
+class TestSparseBackend:
+    """The sparse splu backend is a drop-in replacement for the dense stack."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_destination_loads_match_dense(self, seed):
+        net, weights = random_case(seed)
+        table = softmin_routing(net, weights, gamma=2.0).destination_table()
+        demand = bimodal_matrix(net.num_nodes, seed=seed)
+        np.testing.assert_allclose(
+            destination_link_loads(net, table, demand, backend="sparse"),
+            destination_link_loads(net, table, demand, backend="dense"),
+            atol=1e-8,
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sequence_loads_match_dense(self, seed):
+        net, weights = random_case(seed)
+        table = softmin_routing(net, weights, gamma=2.0).destination_table()
+        demands = np.stack([bimodal_matrix(net.num_nodes, seed=seed + i) for i in range(4)])
+        np.testing.assert_allclose(
+            destination_link_loads_sequence(net, table, demands, backend="sparse"),
+            destination_link_loads_sequence(net, table, demands, backend="dense"),
+            atol=1e-8,
+        )
+
+    def test_sparse_matches_scalar_reference(self):
+        # The 1e-8 anchor against the original per-destination loop.
+        net, weights = random_case(9)
+        routing = softmin_routing(net, weights, gamma=2.0)
+        demand = bimodal_matrix(net.num_nodes, seed=9)
+        np.testing.assert_allclose(
+            link_loads(net, routing, demand, backend="sparse"),
+            link_loads(net, routing, demand, vectorized=False),
+            atol=1e-8,
+        )
+
+    def test_flow_loads_match_dense(self):
+        net = abilene()
+        weights = np.random.default_rng(5).uniform(0.3, 3.0, net.num_edges)
+        routing = softmin_routing(net, weights, gamma=2.0, pruner="frontier")
+        demand = sparse_matrix(net.num_nodes, seed=5, density=0.4)
+        np.testing.assert_allclose(
+            link_loads(net, routing, demand, backend="sparse"),
+            link_loads(net, routing, demand, backend="dense"),
+            atol=1e-8,
+        )
+
+    def test_destination_out_ratios_absorbed_like_dense(self):
+        # Malformed table: the destination itself carries an out-ratio.
+        # Dense assembly zeroes the destination's *forwarding* entries
+        # (sender == target), so the flow is absorbed and the stray ratio
+        # never re-injects; the sparse assembly must drop the same axis.
+        net = triangle_network()
+        table = np.zeros((3, net.num_edges))
+        table[2, net.edge_index[(0, 2)]] = 1.0
+        table[2, net.edge_index[(2, 0)]] = 1.0  # destination forwards (bad)
+        demand = np.zeros((3, 3))
+        demand[0, 2] = 1.0
+        dense = destination_link_loads(net, table, demand, backend="dense")
+        sparse = destination_link_loads(net, table, demand, backend="sparse")
+        np.testing.assert_allclose(sparse, dense, atol=1e-12)
+        # The zeroed balance system still admits a unique finite solution:
+        # one unit reaches the destination (never re-injected), and the
+        # load projection applies the stray ratio identically everywhere.
+        assert dense[net.edge_index[(0, 2)]] == pytest.approx(1.0)
+
+    def test_invalid_backend_rejected(self):
+        net, weights = random_case(0)
+        table = softmin_routing(net, weights, gamma=2.0).destination_table()
+        with pytest.raises(ValueError, match="backend"):
+            destination_link_loads(net, table, np.ones((12, 12)), backend="cuda")
+
+    def test_loop_error_names_same_destination_as_dense(self):
+        # Singular sparse systems must name the first offending destination
+        # in ascending order, exactly like the dense path.
+        net = triangle_network()
+        table = np.zeros((3, net.num_edges))
+        # Destination 1's flow recirculates between 0 and 2; destination
+        # 2's between 0 and 1 — both systems are singular.
+        table[1, net.edge_index[(0, 2)]] = 1.0
+        table[1, net.edge_index[(2, 0)]] = 1.0
+        table[2, net.edge_index[(0, 1)]] = 1.0
+        table[2, net.edge_index[(1, 0)]] = 1.0
+        demand = np.zeros((3, 3))
+        demand[0, 2] = 1.0
+        demand[0, 1] = 1.0
+        messages = {}
+        for backend in ("dense", "sparse"):
+            with pytest.raises(RoutingLoopError) as excinfo:
+                destination_link_loads(net, table, demand, backend=backend)
+            messages[backend] = str(excinfo.value)
+        assert "destination 1" in messages["dense"]
+        assert "destination 1" in messages["sparse"]
+
+    def test_unused_looping_destination_is_skipped(self):
+        net = triangle_network()
+        table = np.zeros((3, net.num_edges))
+        table[2, net.edge_index[(0, 1)]] = 1.0
+        table[2, net.edge_index[(1, 0)]] = 1.0
+        table[1, net.edge_index[(0, 1)]] = 1.0
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 4.0
+        loads = destination_link_loads(net, table, demand, backend="sparse")
+        assert loads[net.edge_index[(0, 1)]] == pytest.approx(4.0)
+
+
+class TestBackendSelection:
+    def test_small_graph_stays_dense(self):
+        assert select_backend(abilene()) == "dense"
+
+    def test_large_sparse_graph_selects_sparse(self):
+        net = random_connected_network(SPARSE_MIN_NODES + 40, 60, seed=0)
+        assert select_backend(net) == "sparse"
+
+    def test_large_dense_graph_stays_dense(self):
+        # Node count qualifies but density disqualifies.
+        n = SPARSE_MIN_NODES
+        extra = int(SPARSE_MAX_DENSITY * n * (n - 1)) // 2 + n
+        net = random_connected_network(n, extra, seed=0)
+        assert select_backend(net) == "dense"
+
+    def test_explicit_request_wins(self):
+        assert select_backend(abilene(), "sparse") == "sparse"
+        assert select_backend(random_connected_network(200, 60, seed=0), "dense") == "dense"
+
+    def test_default_backend_context_steers_auto(self):
+        net = abilene()
+        assert select_backend(net) == "dense"
+        with default_backend("sparse"):
+            assert select_backend(net) == "sparse"
+            # Explicit call-site choices still win over the ambient default.
+            assert select_backend(net, "dense") == "dense"
+        assert select_backend(net) == "dense"
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            select_backend(abilene(), "fast")
+        with pytest.raises(ValueError, match="backend"):
+            with default_backend("gpu"):
+                pass  # pragma: no cover - the context must raise on entry
+
+
+class TestFactorisationCache:
+    def _workload(self, seed=0):
+        net, weights = random_case(seed)
+        table = softmin_routing(net, weights, gamma=2.0).destination_table()
+        demand = bimodal_matrix(net.num_nodes, seed=seed)
+        return net, table, demand
+
+    def test_repeated_solves_hit_the_cache(self):
+        net, table, demand = self._workload()
+        cache = FactorisationCache()
+        destination_link_loads(net, table, demand, backend="sparse", cache=cache)
+        assert cache.misses == net.num_nodes and cache.hits == 0
+        destination_link_loads(net, table, demand, backend="sparse", cache=cache)
+        assert cache.hits == net.num_nodes  # the fixed routing re-solves free
+
+    def test_cached_results_stay_correct(self):
+        net, table, demand = self._workload(3)
+        cache = FactorisationCache()
+        first = destination_link_loads(net, table, demand, backend="sparse", cache=cache)
+        again = destination_link_loads(net, table, demand, backend="sparse", cache=cache)
+        np.testing.assert_allclose(again, first, atol=0.0)
+        np.testing.assert_allclose(
+            again, destination_link_loads(net, table, demand, backend="dense"), atol=1e-8
+        )
+
+    def test_different_routings_do_not_collide(self):
+        net, weights = random_case(1)
+        cache = FactorisationCache()
+        demand = bimodal_matrix(net.num_nodes, seed=1)
+        for gamma in (1.0, 4.0):
+            table = softmin_routing(net, weights, gamma=gamma).destination_table()
+            np.testing.assert_allclose(
+                destination_link_loads(net, table, demand, backend="sparse", cache=cache),
+                destination_link_loads(net, table, demand, backend="dense"),
+                atol=1e-8,
+            )
+        assert cache.hits == 0 and cache.misses == 2 * net.num_nodes
+
+    def test_eviction_respects_max_entries(self):
+        net, table, demand = self._workload()
+        cache = FactorisationCache(max_entries=4)
+        destination_link_loads(net, table, demand, backend="sparse", cache=cache)
+        assert len(cache) == 4
+
+    def test_shared_cache_is_the_default(self):
+        net, table, demand = self._workload(7)
+        shared = shared_factorisation_cache()
+        before = shared.hits + shared.misses
+        destination_link_loads(net, table, demand, backend="sparse")
+        assert shared.hits + shared.misses > before
+
+    def test_clear(self):
+        cache = FactorisationCache()
+        net, table, demand = self._workload()
+        destination_link_loads(net, table, demand, backend="sparse", cache=cache)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            FactorisationCache(max_entries=0)
+
+
 class TestZeroDemandBehaviour:
     def test_utilisation_ratio_defined(self):
         net = triangle_network()
@@ -286,6 +497,23 @@ class TestBatchEvaluate:
         ]
         np.testing.assert_allclose(batched.ratios, direct, rtol=1e-8)
         assert batched.count == 2 * (8 - 3)
+
+    def test_routing_backends_agree(self):
+        net, seqs = self._setup()
+        dense = batch_evaluate_routing(
+            shortest_path_routing, net, seqs, memory_length=3, backend="dense"
+        )
+        sparse = batch_evaluate_routing(
+            shortest_path_routing, net, seqs, memory_length=3, backend="sparse"
+        )
+        np.testing.assert_allclose(sparse.ratios, dense.ratios, rtol=1e-8)
+
+    def test_policy_evaluation_backends_agree(self):
+        net, seqs = self._setup()
+        policy = GNNPolicy(memory_length=3, latent=8, hidden=8, num_processing_steps=2, seed=0)
+        dense = batch_evaluate(policy, net, seqs, memory_length=3, backend="dense")
+        sparse = batch_evaluate(policy, net, seqs, memory_length=3, backend="sparse")
+        np.testing.assert_allclose(sparse.ratios, dense.ratios, rtol=1e-8)
 
     def test_warm_lp_cache_deduplicates(self):
         net, seqs = self._setup()

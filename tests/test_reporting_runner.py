@@ -179,3 +179,45 @@ class TestBenchPresets:
 
         with pytest.raises(ValueError, match="unknown bench preset"):
             bench_workload("galactic")
+
+    def test_bench_parser_accepts_sparse_nodes(self):
+        args = build_parser().parse_args(["bench", "--sparse-nodes", "320"])
+        assert args.sparse_nodes == 320
+        assert build_parser().parse_args(["bench"]).sparse_nodes is None
+
+    def test_bench_rejects_tiny_sparse_nodes(self, capsys):
+        assert main(["bench", "--sparse-nodes", "4"]) == 2
+        assert "--sparse-nodes" in capsys.readouterr().err
+
+    def test_sparse_bench_nodes_scales_with_preset(self):
+        from repro.engine.benchmark import SPARSE_BENCH_NODES, sparse_bench_nodes
+
+        assert set(SPARSE_BENCH_NODES) == {"quick", "standard", "paper"}
+        for preset, sizes in SPARSE_BENCH_NODES.items():
+            assert sparse_bench_nodes(preset) == sizes
+            assert sizes == tuple(sorted(sizes))
+        with pytest.raises(ValueError, match="unknown bench preset"):
+            sparse_bench_nodes("galactic")
+
+    def test_format_backend_bench_rows(self):
+        from repro.engine.benchmark import BackendBenchmark
+        from repro.experiments.reporting import format_backend_bench
+
+        rows = [
+            BackendBenchmark(
+                num_nodes=96, num_edges=254, num_matrices=4,
+                dense_seconds=0.009, sparse_seconds=0.035, auto_backend="dense",
+            ),
+            BackendBenchmark(
+                num_nodes=256, num_edges=680, num_matrices=4,
+                dense_seconds=0.27, sparse_seconds=0.15, auto_backend="sparse",
+            ),
+        ]
+        text = format_backend_bench(rows)
+        assert "dense stacked LAPACK" in text
+        assert "96" in text and "256" in text
+        assert "0.26x" in text  # dense wins at the small size
+        assert "1.80x" in text  # sparse wins at the large size
+        lines = text.splitlines()
+        assert lines[-2].rstrip().endswith("dense")
+        assert lines[-1].rstrip().endswith("sparse")
