@@ -262,7 +262,11 @@ def strategy_grid_spec() -> ScenarioSpec:
 # Demand on these graphs is deliberately very sparse (a handful of active
 # node pairs): that matches how carrier-scale traffic matrices actually
 # look, and it keeps the LP reward denominator tractable — each distinct
-# DM's optimum is one solve over the active destinations only.
+# DM's optimum is one solve over the active destinations only, and the
+# structure-reusing LP layer (repro.flows.lp) makes those solves
+# warm-started RHS-only re-solves where supports repeat.  For bigger
+# warm-up volumes, `--set evaluation.lp_workers=N` fans the solve set out
+# over worker processes and `--lp-store DIR` persists optima across runs.
 
 
 def zoo_large_sparse_spec() -> ScenarioSpec:

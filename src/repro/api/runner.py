@@ -210,7 +210,10 @@ class _SeedRun:
             # optima it needs (large sparse topologies would otherwise pay
             # for training sequences nothing ever consumes).
             warm_lp_cache(
-                self.train_graphs[0], self.train_seqs + self.test_seqs, self.rewarder
+                self.train_graphs[0],
+                self.train_seqs + self.test_seqs,
+                self.rewarder,
+                workers=self.spec.evaluation.lp_workers,
             )
         trained: dict[str, tuple[object, bool, LearningCurve]] = {}
         for i, pspec in enumerate(self.spec.routing.policies):
@@ -251,6 +254,7 @@ class _SeedRun:
                 weight_scale=self.scale.weight_scale,
                 reward_computer=self.rewarder,
                 backend=self.spec.evaluation.backend,
+                lp_workers=self.spec.evaluation.lp_workers,
             ).combined
         return out
 

@@ -20,13 +20,12 @@ sweeps over the same grid resume from whatever already finished.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.api.results import ScenarioResult
 from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.utils.caching import atomic_write_text, sharded_digests, sharded_entry_path
 
 #: Bump when the on-disk entry schema changes; older entries read as misses.
 STORE_FORMAT = 1
@@ -47,7 +46,7 @@ class ResultStore:
         digest = (
             spec_or_hash if isinstance(spec_or_hash, str) else spec_or_hash.spec_hash()
         )
-        return self.directory / digest[:2] / f"{digest}.json"
+        return sharded_entry_path(self.directory, digest)
 
     def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
         """The stored result for ``spec``, or ``None`` on any miss.
@@ -70,31 +69,18 @@ class ResultStore:
     def put(self, spec: ScenarioSpec, result: ScenarioResult) -> Path:
         """Persist ``result`` under ``spec``'s hash atomically; returns the path."""
         digest = spec.spec_hash()
-        path = self.path_for(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(
             {"format": STORE_FORMAT, "hash": digest, "result": result.to_dict()},
             indent=2,
         )
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        return atomic_write_text(self.path_for(digest), payload)
 
     def __contains__(self, spec: ScenarioSpec) -> bool:
         return self.path_for(spec).is_file()
 
     def hashes(self) -> list[str]:
         """Every stored spec hash, sorted."""
-        return sorted(path.stem for path in self.directory.glob("??/*.json"))
+        return sharded_digests(self.directory)
 
     def __len__(self) -> int:
         return len(self.hashes())

@@ -79,6 +79,10 @@ __all__ = [
     "backend_comparison",
     "SPARSE_BENCH_NODES",
     "sparse_bench_nodes",
+    "LPBenchmark",
+    "lp_phase_comparison",
+    "LP_BENCH_MATRICES",
+    "lp_bench_matrices",
 ]
 
 _LAZY = {
@@ -95,6 +99,10 @@ _LAZY = {
     "backend_comparison": "repro.engine.benchmark",
     "SPARSE_BENCH_NODES": "repro.engine.benchmark",
     "sparse_bench_nodes": "repro.engine.benchmark",
+    "LPBenchmark": "repro.engine.benchmark",
+    "lp_phase_comparison": "repro.engine.benchmark",
+    "LP_BENCH_MATRICES": "repro.engine.benchmark",
+    "lp_bench_matrices": "repro.engine.benchmark",
 }
 
 

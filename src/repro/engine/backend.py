@@ -27,7 +27,6 @@ pieces that decide *which* solver runs:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from contextlib import contextmanager
 
 import numpy as np
@@ -35,6 +34,7 @@ from scipy.sparse import csc_matrix, identity
 from scipy.sparse.linalg import splu
 
 from repro.graphs.network import Network
+from repro.utils.caching import KeyedLRU
 
 #: Valid values for every ``backend=`` parameter in the engine.
 BACKENDS = ("auto", "dense", "sparse")
@@ -152,7 +152,7 @@ def factorise_balance_system(network: Network, row: np.ndarray, target: int):
         ) from None
 
 
-class FactorisationCache:
+class FactorisationCache(KeyedLRU):
     """LRU cache of per-destination ``splu`` factorisations.
 
     Keys are exact: ``(topology structure, destination, ratio-row bytes)``
@@ -164,35 +164,12 @@ class FactorisationCache:
     """
 
     def __init__(self, max_entries: int = 256):
-        if max_entries < 1:
-            raise ValueError("max_entries must be >= 1")
-        self.max_entries = max_entries
-        self._store: OrderedDict[tuple, object] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        super().__init__(max_entries)
 
     def factorisation(self, network: Network, row: np.ndarray, target: int):
         """The LU factorisation for ``row``'s system, cached."""
         key = (network.num_nodes, network.edges, int(target), row.tobytes())
-        cached = self._store.get(key)
-        if cached is not None:
-            self._store.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
-        factor = factorise_balance_system(network, row, target)
-        self._store[key] = factor
-        if len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
-        return factor
-
-    def clear(self) -> None:
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._store)
+        return self.lookup(key, lambda: factorise_balance_system(network, row, target))
 
 
 #: Factorisations shared by every sparse solve that is not handed a private

@@ -220,3 +220,109 @@ def backend_comparison(
         sparse_seconds=best_of(sparse),
         auto_backend=select_backend(network),
     )
+
+
+# ---------------------------------------------------------------------------
+# LP phase: loop-assembled fresh solves vs the structure-reusing layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LPBenchmark:
+    """One legacy-vs-structured measurement of the LP warm-up phase."""
+
+    topology_name: str
+    num_nodes: int
+    num_edges: int
+    num_matrices: int
+    legacy_seconds: float
+    structured_seconds: float
+    #: Whether the warm-started direct-HiGHS path was active (else both
+    #: sides solve through ``linprog`` and only assembly differs).
+    direct_solver: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.legacy_seconds / max(self.structured_seconds, 1e-12)
+
+
+#: The ``zoo-large-sparse`` preset's demand recipe — the workload the
+#: acceptance criterion is phrased against.
+LP_BENCH_DEMANDS: dict[str, float] = {"density": 0.0005, "mean": 2000.0, "std": 400.0}
+
+#: Distinct-matrix count per experiment-scale preset for the LP phase
+#: comparison (the quick size matches the zoo-large-sparse warm-up volume).
+LP_BENCH_MATRICES: dict[str, int] = {"quick": 4, "standard": 6, "paper": 8}
+
+
+def lp_bench_matrices(preset: str) -> int:
+    """The :func:`lp_phase_comparison` matrix count for a named preset."""
+    try:
+        return LP_BENCH_MATRICES[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench preset {preset!r}; choose from {sorted(LP_BENCH_MATRICES)}"
+        ) from None
+
+
+def lp_phase_comparison(
+    topology_name: str = "cogent-like",
+    num_matrices: int = 4,
+    seed: int = 0,
+    repeats: int = 1,
+) -> LPBenchmark:
+    """Time the LP warm-up phase both ways on a large sparse topology.
+
+    The workload is the ``zoo-large-sparse`` preset's: the 197-node
+    Cogent-scale topology carrying ``num_matrices`` distinct sparse demand
+    matrices (cold caches — every timed pass assembles and solves from
+    scratch).  The legacy side is the pre-structure-cache pipeline
+    (per-commodity loop assembly + a fresh ``linprog`` per matrix); the
+    structured side drives the same matrices through a fresh
+    :class:`~repro.flows.lp.LinearProgramCache`.  Optima are asserted equal
+    to 1e-8 before timing.
+    """
+    from repro.flows.lp import (
+        LinearProgramCache,
+        _reference_solve,
+        direct_solver_available,
+        solve_optimal_max_utilisation,
+    )
+    from repro.graphs.zoo import topology
+    from repro.traffic.matrices import sparse_matrix
+
+    network = topology(topology_name)
+    demands = [
+        sparse_matrix(network.num_nodes, seed=seed + i, **LP_BENCH_DEMANDS)
+        for i in range(num_matrices)
+    ]
+
+    def legacy() -> list:
+        return [_reference_solve(network, dm).max_utilisation for dm in demands]
+
+    def structured() -> list:
+        cache = LinearProgramCache()
+        return [
+            solve_optimal_max_utilisation(network, dm, lp_cache=cache).max_utilisation
+            for dm in demands
+        ]
+
+    np.testing.assert_allclose(structured(), legacy(), atol=1e-8)
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return LPBenchmark(
+        topology_name=topology_name,
+        num_nodes=network.num_nodes,
+        num_edges=network.num_edges,
+        num_matrices=num_matrices,
+        legacy_seconds=best_of(legacy),
+        structured_seconds=best_of(structured),
+        direct_solver=direct_solver_available(),
+    )

@@ -13,7 +13,9 @@ this module amortises it across whole evaluation workloads:
   factorised multi-right-hand-side solve per destination;
 * :func:`warm_lp_cache` — deduplicate and presolve the LP optima a
   workload will need (cyclical sequences repeat each block matrix many
-  times, so the distinct-matrix count is far below the step count).
+  times, so the distinct-matrix count is far below the step count); with
+  ``workers > 1`` the deduplicated solve set fans out over a
+  ``ProcessPoolExecutor``, the same machinery the sweep executor uses.
 
 All-zero demand matrices are defined to have utilisation ratio 1.0 (zero
 load is trivially optimal), so sparse traffic sequences no longer abort a
@@ -119,11 +121,31 @@ def _as_groups(
     return list(zip(networks, groups))
 
 
+def _warm_solve_chunk(network_payload: tuple, matrices: list) -> list:
+    """Worker entry point: solve one chunk of demand matrices.
+
+    Takes the network as plain constructor arguments (cheap to pickle, no
+    reliance on array-flag round-trips) and returns the optima in order.
+    A private structure cache keeps same-support matrices within the chunk
+    on the RHS-only re-solve path.
+    """
+    from repro.flows.lp import LinearProgramCache, solve_optimal_max_utilisation
+
+    num_nodes, edges, capacities, name = network_payload
+    network = Network(num_nodes, edges, capacities, name=name)
+    lp_cache = LinearProgramCache()
+    return [
+        solve_optimal_max_utilisation(network, matrix, lp_cache=lp_cache).max_utilisation
+        for matrix in matrices
+    ]
+
+
 def warm_lp_cache(
     network: Network,
     sequences: Sequence[DemandSequence],
     reward_computer: RewardComputer,
     memory_length: int = 0,
+    workers: int = 1,
 ) -> int:
     """Presolve the LP optimum for every distinct post-warmup demand matrix.
 
@@ -131,9 +153,18 @@ def warm_lp_cache(
     cache.  Cyclical sequences repeat a small block of matrices, so
     deduplicating before the rollout avoids interleaving LP solves with
     policy inference.
+
+    With ``workers > 1`` the matrices still missing after the in-memory and
+    on-disk caches are consulted fan out over a ``ProcessPoolExecutor``;
+    results merge back through ``reward_computer.cache.put`` (persisting to
+    the optimum store when one is configured).  An
+    :class:`~repro.flows.lp.InfeasibleRoutingError` raised in a worker
+    propagates unchanged, exactly like a serial solve.
     """
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise ValueError(f"workers must be a positive int, got {workers!r}")
     seen: set[bytes] = set()
-    solved = 0
+    distinct: list[np.ndarray] = []
     for sequence in sequences:
         for step in range(memory_length, len(sequence)):
             matrix = sequence.matrix(step)
@@ -142,9 +173,32 @@ def warm_lp_cache(
                 continue
             seen.add(key)
             if np.any(matrix > 0.0):
-                reward_computer.cache.optimal_max_utilisation(network, matrix)
-                solved += 1
-    return solved
+                distinct.append(matrix)
+
+    cache = reward_computer.cache
+    if workers == 1 or len(distinct) <= 1:
+        for matrix in distinct:
+            cache.optimal_max_utilisation(network, matrix)
+        return len(distinct)
+
+    pending = [m for m in distinct if cache.peek(network, m) is None]
+    if pending:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payload = (
+            network.num_nodes,
+            network.edges,
+            np.asarray(network.capacities).copy(),
+            network.name,
+        )
+        worker_count = min(workers, len(pending))
+        chunks = [pending[i::worker_count] for i in range(worker_count)]
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            futures = [pool.submit(_warm_solve_chunk, payload, chunk) for chunk in chunks]
+            for chunk, future in zip(chunks, futures):
+                for matrix, optimum in zip(chunk, future.result()):
+                    cache.put(network, matrix, optimum)
+    return len(distinct)
 
 
 def _rollout_policy(
@@ -211,6 +265,7 @@ def batch_evaluate(
     reward_computer: Optional[RewardComputer] = None,
     seed: SeedLike = 0,
     backend: str = "auto",
+    lp_workers: int = 1,
 ) -> BatchEvaluationResult:
     """Evaluate one policy over many (network, demand-sequence) workloads.
 
@@ -239,6 +294,9 @@ def batch_evaluate(
         the real environments, so the choice is installed as the ambient
         default (:func:`repro.engine.backend.default_backend`) rather than
         threaded through every layer.
+    lp_workers:
+        Worker processes for the LP pre-warm pass (see
+        :func:`warm_lp_cache`); ``1`` solves serially in-process.
 
     Returns
     -------
@@ -249,7 +307,7 @@ def batch_evaluate(
     results = []
     with default_backend(backend):
         for network, sequences in _as_groups(networks, traffic_sequences):
-            warm_lp_cache(network, sequences, rewarder, memory_length)
+            warm_lp_cache(network, sequences, rewarder, memory_length, workers=lp_workers)
             results.append(
                 _rollout_policy(
                     policy,

@@ -27,7 +27,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.flows.lp import OptimalUtilisationCache
+from repro.flows.lp import LinearProgramCache, OptimalUtilisationCache
 from repro.flows.simulator import max_link_utilisation
 from repro.graphs.network import Network
 from repro.routing.softmin import softmin_routing
@@ -64,10 +64,20 @@ class RewardComputer:
         solves.
     pruner:
         DAG conversion rule passed to softmin routing.
+    lp_cache:
+        Optional private :class:`LinearProgramCache` handed to a
+        newly-created optimum cache, so one experiment's constraint
+        structures (and their persistent solver models) can be isolated
+        from the process-shared pool.  Ignored when ``cache`` is given.
     """
 
-    def __init__(self, cache: Optional[OptimalUtilisationCache] = None, pruner: str = "distance"):
-        self.cache = cache or OptimalUtilisationCache()
+    def __init__(
+        self,
+        cache: Optional[OptimalUtilisationCache] = None,
+        pruner: str = "distance",
+        lp_cache: Optional[LinearProgramCache] = None,
+    ):
+        self.cache = cache or OptimalUtilisationCache(lp_cache=lp_cache)
         self.pruner = pruner
 
     def routing_from_weights(

@@ -182,6 +182,28 @@ def format_engine_bench(result) -> str:
     )
 
 
+def format_lp_bench(result) -> str:
+    """The LP-phase benchmark: loop-assembled fresh solves vs structure reuse.
+
+    ``result`` is a :class:`repro.engine.benchmark.LPBenchmark`; the legacy
+    side is the pre-structure-cache pipeline (per-commodity loop assembly +
+    a fresh solver per matrix), the structured side the vectorized,
+    warm-started structure-cache path.
+    """
+    solver = "direct HiGHS (warm-started)" if result.direct_solver else "linprog fallback"
+    return "\n".join(
+        [
+            "LP reward denominator - loop-assembled fresh solves vs structure reuse",
+            f"  workload: {result.num_matrices} distinct sparse demand matrices on "
+            f"{result.topology_name} ({result.num_nodes} nodes / {result.num_edges} edges)",
+            f"  solver path: {solver}",
+            f"  legacy pipeline:     {result.legacy_seconds * 1e3:8.1f} ms",
+            f"  structure-reusing:   {result.structured_seconds * 1e3:8.1f} ms",
+            f"  speedup: {result.speedup:.1f}x (acceptance floor: 5x)",
+        ]
+    )
+
+
 def format_backend_bench(results) -> str:
     """Dense-vs-sparse backend comparison as a per-size table.
 

@@ -40,6 +40,7 @@ from pathlib import Path
 
 from repro.api.registry import UnknownComponentError, registry_for
 from repro.api.presets import SCENARIOS, get_scenario
+from repro.flows.lp import LP_STORE_ENV
 from repro.api.runner import run as run_scenario
 from repro.api.spec import ScenarioSpec, SpecValidationError
 from repro.api.store import ResultStore
@@ -48,6 +49,7 @@ from repro.experiments.config import PRESETS, get_preset
 from repro.experiments.reporting import (
     format_backend_bench,
     format_engine_bench,
+    format_lp_bench,
     format_fig6,
     format_fig7,
     format_fig8,
@@ -73,6 +75,22 @@ def _add_scale_options(parser: argparse.ArgumentParser, preset_default=None) -> 
     )
     parser.add_argument(
         "--echo", action="store_true", help="print per-update training diagnostics"
+    )
+    parser.add_argument(
+        "--lp-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan the LP reward-denominator warm-up over N worker processes "
+        "(shorthand for --set evaluation.lp_workers=N)",
+    )
+    parser.add_argument(
+        "--lp-store",
+        metavar="DIR",
+        default=None,
+        help="persist LP optima per (network fingerprint, demand hash) in DIR "
+        "so repeated runs and sweep workers never re-solve a demand matrix "
+        f"(sets ${LP_STORE_ENV} for this process and its workers)",
     )
 
 
@@ -231,6 +249,8 @@ def _resolve_spec(args: argparse.Namespace) -> ScenarioSpec:
         updates["training.overrides.total_timesteps"] = args.timesteps
     if args.seed is not None:
         updates["evaluation.seeds"] = [args.seed]
+    if getattr(args, "lp_workers", None) is not None:
+        updates["evaluation.lp_workers"] = args.lp_workers
     for assignment in args.overrides:
         path, value = _parse_set(assignment)
         updates[path] = value
@@ -301,6 +321,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         backend_comparison,
         bench_workload,
         engine_speedup,
+        lp_bench_matrices,
+        lp_phase_comparison,
         sparse_bench_nodes,
     )
 
@@ -319,6 +341,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(
         format_backend_bench(
             [backend_comparison(num_nodes=n, seed=args.seed) for n in sizes]
+        )
+    )
+    print()
+    print(
+        format_lp_bench(
+            lp_phase_comparison(
+                num_matrices=lp_bench_matrices(args.preset), seed=args.seed
+            )
         )
     )
     return 0
@@ -357,6 +387,12 @@ def _cmd_legacy(args: argparse.Namespace) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "lp_store", None):
+        # Environment-propagated so sweep worker processes (and every
+        # RewardComputer cache created anywhere below) inherit the store.
+        import os
+
+        os.environ[LP_STORE_ENV] = args.lp_store
     try:
         if args.command == "run":
             return _cmd_run(args)

@@ -12,7 +12,15 @@ Figure 1:
 """
 
 from repro.flows.lp import (
+    LinearProgramCache,
+    LinearProgramStructure,
+    LPOptimumStore,
     OptimalRouting,
+    OptimalUtilisationCache,
+    demand_destinations,
+    direct_solver_available,
+    network_fingerprint,
+    shared_lp_cache,
     solve_mcf_per_pair,
     solve_optimal_average_utilisation,
     solve_optimal_max_utilisation,
@@ -26,6 +34,14 @@ from repro.flows.simulator import (
 
 __all__ = [
     "OptimalRouting",
+    "OptimalUtilisationCache",
+    "LinearProgramCache",
+    "LinearProgramStructure",
+    "LPOptimumStore",
+    "demand_destinations",
+    "direct_solver_available",
+    "network_fingerprint",
+    "shared_lp_cache",
     "solve_optimal_max_utilisation",
     "solve_optimal_average_utilisation",
     "solve_mcf_per_pair",

@@ -1,9 +1,19 @@
-"""Shared utilities: seeding, validation helpers, and lightweight logging."""
+"""Shared utilities: seeding, validation, caching primitives, logging."""
 
+from repro.utils.caching import (
+    KeyedLRU,
+    atomic_write_text,
+    sharded_digests,
+    sharded_entry_path,
+)
 from repro.utils.seeding import rng_from_seed, spawn_rngs
 from repro.utils.validation import check_positive, check_probability, check_square_matrix
 
 __all__ = [
+    "KeyedLRU",
+    "atomic_write_text",
+    "sharded_digests",
+    "sharded_entry_path",
     "rng_from_seed",
     "spawn_rngs",
     "check_positive",

@@ -1,0 +1,109 @@
+"""Shared caching primitives: keyed LRU and sharded atomic disk entries.
+
+Two disciplines several subsystems repeat — the in-memory keyed LRU behind
+the engine's ``FactorisationCache`` and the LP layer's structure/optimum
+caches, and the on-disk layout behind ``repro.api.store.ResultStore`` and
+the LP optimum store — live here once, so a fix to eviction or atomic-write
+semantics applies everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Optional, TypeVar
+
+Value = TypeVar("Value")
+
+
+class KeyedLRU:
+    """A keyed LRU with hit/miss counters — the shared cache skeleton.
+
+    True LRU, not FIFO: every hit refreshes recency (``move_to_end``), so
+    a working set that is read on every step is never evicted by one-off
+    entries.  Subclasses add only their key function and value builder.
+    """
+
+    def __init__(self, max_entries: int):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._store: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key, build: Callable[[], Value]) -> Value:
+        """The cached value for ``key``, building (and counting a miss) once."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        self.misses += 1
+        value = build()
+        self.insert(key, value)
+        return value
+
+    def get(self, key) -> Optional[Value]:
+        """The cached value refreshing its recency, or ``None`` (counts a hit)."""
+        cached = self._store.get(key)
+        if cached is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+        return cached
+
+    def insert(self, key, value: Value) -> None:
+        """Record ``value`` as most-recent, evicting the LRU entry if full."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+def sharded_entry_path(root: Path, digest: str) -> Path:
+    """``<root>/<hh>/<digest>.json`` — two-level sharding keeps dirs small."""
+    return root / digest[:2] / f"{digest}.json"
+
+
+def sharded_digests(root: Path) -> list[str]:
+    """Every stored digest under a sharded root, sorted.
+
+    Temp files from in-flight (or crashed) writes are excluded explicitly —
+    pathlib's ``*`` *does* match a leading dot, so a bare glob would list a
+    ``.tmp-*`` leftover as a digest.
+    """
+    return sorted(
+        path.stem for path in root.glob("??/*.json") if not path.name.startswith(".")
+    )
+
+
+def atomic_write_text(path: Path, payload: str) -> Path:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Creates parent directories as needed; an interrupted write never leaves
+    a truncated entry, and the temp file is removed on any failure.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+__all__ = ["KeyedLRU", "atomic_write_text", "sharded_digests", "sharded_entry_path"]

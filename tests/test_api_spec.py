@@ -203,6 +203,47 @@ class TestSpecValidation:
         spec = api.get_scenario("fig6").with_updates({"evaluation.backend": "dense"})
         assert spec.evaluation.backend == "dense"
 
+    def test_lp_workers_defaults_to_one(self):
+        assert api.EvaluationSpec().lp_workers == 1
+
+    def test_lp_workers_coerces_integral_values(self):
+        spec = api.EvaluationSpec(lp_workers=np.int64(4))
+        assert spec.lp_workers == 4 and type(spec.lp_workers) is int
+        json.dumps(spec.to_dict())
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, True, "two", None])
+    def test_invalid_lp_workers_rejected(self, bad):
+        with pytest.raises(api.SpecValidationError, match="evaluation.lp_workers"):
+            api.EvaluationSpec(lp_workers=bad)
+
+    def test_default_lp_workers_omitted_from_dict_form(self):
+        # Same hash-stability contract as ``backend``: the default must
+        # serialise exactly as before the field existed, so existing
+        # ResultStore entries and sweep resume stay valid.
+        assert "lp_workers" not in api.EvaluationSpec().to_dict()
+        assert api.EvaluationSpec(lp_workers=3).to_dict()["lp_workers"] == 3
+        spec = api.ScenarioSpec(name="lw", routing={"strategies": ["shortest_path"]})
+        assert '"lp_workers"' not in spec.canonical_json()
+        explicit = api.ScenarioSpec(
+            name="lw",
+            routing={"strategies": ["shortest_path"]},
+            evaluation={"metrics": ["utilisation_ratio"], "seeds": [0], "lp_workers": 1},
+        )
+        assert explicit.spec_hash() == spec.spec_hash()
+
+    def test_lp_workers_roundtrips(self):
+        spec = api.ScenarioSpec(
+            name="lw",
+            routing={"strategies": ["shortest_path"]},
+            evaluation={"metrics": ["utilisation_ratio"], "seeds": [0], "lp_workers": 2},
+        )
+        assert roundtrip(spec) == spec
+        assert roundtrip(spec).evaluation.lp_workers == 2
+
+    def test_lp_workers_settable_via_dotted_override(self):
+        spec = api.get_scenario("fig6").with_updates({"evaluation.lp_workers": 2})
+        assert spec.evaluation.lp_workers == 2
+
     def test_large_topology_presets_pin_or_auto_select_sparse(self):
         assert api.get_scenario("zoo-large-sparse").evaluation.backend == "sparse"
         assert api.get_scenario("zoo-kdl-sparse").evaluation.backend == "sparse"

@@ -10,12 +10,20 @@ import pytest
 
 from repro.flows.lp import (
     InfeasibleRoutingError,
+    LinearProgramCache,
+    LinearProgramStructure,
+    LPOptimumStore,
     OptimalUtilisationCache,
+    _loop_assemble,
+    _reference_solve,
+    demand_destinations,
+    network_fingerprint,
     solve_mcf_per_pair,
+    solve_optimal_average_utilisation,
     solve_optimal_max_utilisation,
 )
 from repro.graphs import Network, abilene, random_connected_network
-from repro.traffic import bimodal_matrix, gravity_matrix
+from repro.traffic import bimodal_matrix, gravity_matrix, sparse_matrix
 from tests.helpers import line_network, square_network, triangle_network
 
 
@@ -135,6 +143,128 @@ class TestValidation:
             solve_optimal_max_utilisation(net2, dm_single(3, 2, 0, 1.0))
 
 
+class TestVectorizedAssembly:
+    """The COO index-array assembly matches the loop reference exactly."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("objective", ["max", "average"])
+    def test_random_graphs_identical_matrices(self, seed, objective):
+        net = random_connected_network(6 + seed, 4 + seed, seed=seed, capacity=50.0)
+        dm = bimodal_matrix(net.num_nodes, seed=seed)
+        destinations = demand_destinations(dm)
+        structure = LinearProgramStructure(net, destinations, objective)
+        a_eq, a_ub, cost = _loop_assemble(net, destinations, objective)
+        np.testing.assert_array_equal(structure.a_eq.toarray(), a_eq.toarray())
+        if objective == "max":
+            np.testing.assert_array_equal(structure.a_ub.toarray(), a_ub.toarray())
+        else:
+            assert structure.a_ub is None and a_ub is None
+        np.testing.assert_array_equal(structure.cost, cost)
+
+    def test_sparse_demand_subset_support(self):
+        net = random_connected_network(10, 8, seed=3, capacity=50.0)
+        dm = np.zeros((10, 10))
+        dm[0, 7] = 5.0
+        dm[2, 7] = 1.0
+        dm[4, 1] = 3.0
+        destinations = demand_destinations(dm)
+        np.testing.assert_array_equal(destinations, [1, 7])
+        structure = LinearProgramStructure(net, destinations)
+        a_eq, a_ub, _ = _loop_assemble(net, destinations)
+        np.testing.assert_array_equal(structure.a_eq.toarray(), a_eq.toarray())
+        np.testing.assert_array_equal(structure.a_ub.toarray(), a_ub.toarray())
+
+    def test_equality_rhs_matches_loop_order(self):
+        net = random_connected_network(7, 5, seed=1, capacity=50.0)
+        dm = bimodal_matrix(7, seed=1)
+        destinations = [int(t) for t in demand_destinations(dm)]
+        structure = LinearProgramStructure(net, destinations)
+        expected = np.concatenate(
+            [
+                dm[np.array([v for v in range(7) if v != t]), t]
+                for t in destinations
+            ]
+        )
+        np.testing.assert_array_equal(structure.equality_rhs(dm), expected)
+
+    def test_rejects_unknown_objective(self):
+        net = triangle_network()
+        with pytest.raises(ValueError, match="objective"):
+            LinearProgramStructure(net, [0], "median")
+        with pytest.raises(ValueError, match="objective"):
+            _loop_assemble(net, [0], "median")
+
+
+class TestStructureCache:
+    """RHS-only re-solves through a shared structure stay exact."""
+
+    def test_same_support_is_one_structure(self):
+        cache = LinearProgramCache()
+        net = abilene()
+        dm1 = bimodal_matrix(net.num_nodes, seed=0)
+        dm2 = bimodal_matrix(net.num_nodes, seed=1)
+        solve_optimal_max_utilisation(net, dm1, lp_cache=cache)
+        solve_optimal_max_utilisation(net, dm2, lp_cache=cache)
+        assert cache.misses == 1 and cache.hits == 1
+        assert len(cache) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_resolve_matches_fresh_and_per_pair_oracle(self, seed):
+        """A structure-cached re-solve equals the fresh solve and the oracle."""
+        rng = np.random.default_rng(seed)
+        net = random_connected_network(7, 5, seed=seed, capacity=100.0)
+        base = sparse_matrix(7, seed=seed, density=0.3, mean=20.0, std=4.0)
+        if not np.any(base > 0.0):
+            base[0, 1] = 10.0
+        cache = LinearProgramCache()
+        solve_optimal_max_utilisation(net, base, lp_cache=cache)  # warm the structure
+        rescaled = np.where(base > 0.0, base * rng.uniform(0.5, 2.0, base.shape), 0.0)
+        resolved = solve_optimal_max_utilisation(net, rescaled, lp_cache=cache)
+        assert cache.hits >= 1  # the second solve reused the structure
+        fresh = _reference_solve(net, rescaled).max_utilisation
+        oracle = solve_mcf_per_pair(net, rescaled).max_utilisation
+        assert resolved.max_utilisation == pytest.approx(fresh, abs=1e-8)
+        assert resolved.max_utilisation == pytest.approx(oracle, abs=1e-8)
+
+    def test_average_objective_through_cache(self):
+        cache = LinearProgramCache()
+        net = square_network(capacity=10.0)
+        dm = gravity_matrix(4, seed=0, total_demand=20.0)
+        first = solve_optimal_average_utilisation(net, dm, lp_cache=cache)
+        again = solve_optimal_average_utilisation(net, 2.0 * dm, lp_cache=cache)
+        assert cache.misses == 1 and cache.hits == 1
+        assert again.max_utilisation == pytest.approx(2.0 * first.max_utilisation, rel=1e-6)
+
+    def test_infeasible_on_fresh_and_reused_structure(self):
+        # Node 3 has no outgoing edge, so demand from 3 is unroutable; the
+        # destination support {2} stays identical across both solves, so
+        # the second one exercises the RHS-only re-solve error path.
+        net = Network(4, [(0, 1), (1, 2), (2, 1), (1, 0), (2, 3)])
+        cache = LinearProgramCache()
+        feasible = np.zeros((4, 4))
+        feasible[0, 2] = 1.0
+        solve_optimal_max_utilisation(net, feasible, lp_cache=cache)
+        infeasible = np.zeros((4, 4))
+        infeasible[3, 2] = 1.0
+        with pytest.raises(InfeasibleRoutingError):
+            solve_optimal_max_utilisation(net, infeasible, lp_cache=cache)
+        assert cache.hits == 1  # the failing solve went through the cached structure
+        # the structure stays usable after a failed solve
+        result = solve_optimal_max_utilisation(net, feasible, lp_cache=cache)
+        assert result.max_utilisation > 0.0
+
+    def test_lru_eviction_of_structures(self):
+        cache = LinearProgramCache(max_entries=2)
+        net = abilene()
+        for t in (1, 2, 3):
+            dm = np.zeros((net.num_nodes,) * 2)
+            dm[0, t] = 1.0
+            solve_optimal_max_utilisation(net, dm, lp_cache=cache)
+        assert len(cache) == 2
+        with pytest.raises(ValueError):
+            LinearProgramCache(max_entries=0)
+
+
 class TestCache:
     def test_cache_hits_do_not_resolve(self):
         cache = OptimalUtilisationCache()
@@ -163,3 +293,106 @@ class TestCache:
     def test_cache_validates_max_entries(self):
         with pytest.raises(ValueError):
             OptimalUtilisationCache(max_entries=0)
+
+    def test_eviction_is_lru_not_fifo(self):
+        """Hits refresh recency: re-reading an old entry protects it.
+
+        The pre-fix FIFO (``pop(next(iter(...)))``) evicted the *oldest
+        insertion* regardless of use, so a cyclical sequence's working set
+        could be evicted by one-off matrices even while being hit on every
+        step.
+        """
+        cache = OptimalUtilisationCache(max_entries=2)
+        net = triangle_network()
+        dm_a, dm_b, dm_c = (dm_single(3, 0, 2, d) for d in (1.0, 2.0, 3.0))
+        cache.optimal_max_utilisation(net, dm_a)
+        cache.optimal_max_utilisation(net, dm_b)
+        cache.optimal_max_utilisation(net, dm_a)  # refresh A's recency
+        cache.optimal_max_utilisation(net, dm_c)  # evicts B, not A
+        misses_before = cache.misses
+        cache.optimal_max_utilisation(net, dm_a)
+        assert cache.misses == misses_before, "A was evicted despite being most-recent"
+        cache.optimal_max_utilisation(net, dm_b)
+        assert cache.misses == misses_before + 1, "B should have been the LRU victim"
+
+
+class TestFingerprintKeys:
+    def test_hash_collision_does_not_alias_networks(self):
+        """Same ``hash()`` on distinct networks must not return a stale optimum.
+
+        The pre-fix key was ``hash(network)``: any two networks whose
+        hashes collided silently shared cache entries, so the second lookup
+        returned the first network's optimum.  Structural fingerprints
+        cannot collide.
+        """
+
+        class CollidingNetwork(Network):
+            def __hash__(self):
+                return 1234
+
+        slim = CollidingNetwork(3, [(0, 1), (1, 2), (2, 0), (0, 2), (2, 1), (1, 0)], 10.0)
+        fat = CollidingNetwork(3, [(0, 1), (1, 2), (2, 0), (0, 2), (2, 1), (1, 0)], 20.0)
+        assert hash(slim) == hash(fat)
+        assert network_fingerprint(slim) != network_fingerprint(fat)
+        cache = OptimalUtilisationCache()
+        dm = dm_single(3, 0, 2, 10.0)
+        u_slim = cache.optimal_max_utilisation(slim, dm)
+        u_fat = cache.optimal_max_utilisation(fat, dm)
+        assert len(cache) == 2
+        assert u_slim == pytest.approx(2.0 * u_fat, rel=1e-6)
+
+    def test_fingerprint_sensitive_to_structure(self):
+        a = triangle_network()
+        assert network_fingerprint(a) == network_fingerprint(triangle_network())
+        assert network_fingerprint(a) != network_fingerprint(triangle_network(20.0))
+        assert network_fingerprint(a) != network_fingerprint(line_network(3))
+
+
+class TestOptimumStore:
+    def test_roundtrip_and_cross_cache_reuse(self, tmp_path):
+        net = triangle_network()
+        dm = dm_single(3, 0, 2, 4.0)
+        first = OptimalUtilisationCache(store=tmp_path)
+        value = first.optimal_max_utilisation(net, dm)
+        assert first.misses == 1
+        # A brand-new cache over the same directory hits the store, not HiGHS.
+        second = OptimalUtilisationCache(store=tmp_path)
+        assert second.optimal_max_utilisation(net, dm) == value
+        assert second.misses == 0 and second.hits == 1
+
+    def test_store_keys_on_network_and_demand(self, tmp_path):
+        store = LPOptimumStore(tmp_path)
+        net = triangle_network()
+        dm = dm_single(3, 0, 2, 4.0)
+        store.put(net, dm, 0.5)
+        assert store.get(net, dm) == 0.5
+        assert store.get(net, 2.0 * dm) is None
+        assert store.get(triangle_network(20.0), dm) is None
+        assert len(store) == 1
+
+    def test_corrupt_entries_read_as_misses(self, tmp_path):
+        store = LPOptimumStore(tmp_path)
+        net = triangle_network()
+        dm = dm_single(3, 0, 2, 4.0)
+        path = store.put(net, dm, 0.5)
+        path.write_text("{not json")
+        assert store.get(net, dm) is None
+        path.write_text('{"format": 999, "optimum": 0.5}')
+        assert store.get(net, dm) is None
+        path.write_text('{"format": 1, "optimum": "half"}')
+        assert store.get(net, dm) is None
+        store.put(net, dm, 0.75)  # overwrites the corrupt entry
+        assert store.get(net, dm) == 0.75
+
+    def test_env_variable_configures_default_store(self, tmp_path, monkeypatch):
+        from repro.flows.lp import LP_STORE_ENV
+
+        monkeypatch.setenv(LP_STORE_ENV, str(tmp_path))
+        net = triangle_network()
+        dm = dm_single(3, 0, 2, 4.0)
+        writer = OptimalUtilisationCache()
+        value = writer.optimal_max_utilisation(net, dm)
+        reader = OptimalUtilisationCache()
+        assert reader.optimal_max_utilisation(net, dm) == value
+        assert reader.misses == 0
+        assert len(LPOptimumStore(tmp_path)) == 1

@@ -99,3 +99,67 @@ class TestRunLogger:
         logger = RunLogger(echo=True, stream=stream)
         logger.log(loss=0.12345)
         assert "loss=0.1235" in stream.getvalue()  # %.4g rounding
+
+
+class TestKeyedLRU:
+    def _lru(self, max_entries=2):
+        from repro.utils.caching import KeyedLRU
+
+        return KeyedLRU(max_entries)
+
+    def test_lookup_builds_once_and_counts(self):
+        lru = self._lru()
+        builds = []
+        assert lru.lookup("a", lambda: builds.append("a") or 1) == 1
+        assert lru.lookup("a", lambda: builds.append("a") or 2) == 1
+        assert builds == ["a"]
+        assert (lru.hits, lru.misses) == (1, 1)
+
+    def test_hits_refresh_recency(self):
+        lru = self._lru(max_entries=2)
+        lru.insert("a", 1)
+        lru.insert("b", 2)
+        assert lru.get("a") == 1  # refresh A
+        lru.insert("c", 3)  # evicts B, the true LRU victim
+        assert lru.get("a") == 1
+        assert lru.get("b") is None
+        assert len(lru) == 2
+
+    def test_clear_resets_counters(self):
+        lru = self._lru()
+        lru.lookup("a", lambda: 1)
+        lru.clear()
+        assert len(lru) == 0 and lru.hits == 0 and lru.misses == 0
+
+    def test_validates_max_entries(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            self._lru(max_entries=0)
+
+    def test_failed_build_inserts_nothing(self):
+        lru = self._lru()
+        with pytest.raises(RuntimeError):
+            lru.lookup("a", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert len(lru) == 0 and lru.misses == 1
+        assert lru.lookup("a", lambda: 7) == 7
+
+
+class TestShardedAtomicWrites:
+    def test_entry_path_and_digest_listing(self, tmp_path):
+        from repro.utils.caching import atomic_write_text, sharded_digests, sharded_entry_path
+
+        path = sharded_entry_path(tmp_path, "abcdef")
+        assert path == tmp_path / "ab" / "abcdef.json"
+        atomic_write_text(path, "{}")
+        assert path.read_text() == "{}"
+        assert sharded_digests(tmp_path) == ["abcdef"]
+
+    def test_overwrite_is_atomic_and_temp_files_invisible(self, tmp_path):
+        from repro.utils.caching import atomic_write_text, sharded_digests, sharded_entry_path
+
+        path = sharded_entry_path(tmp_path, "00ff")
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+        # a stray in-flight temp file never shows up as a digest
+        (tmp_path / "00" / ".tmp-leftover.json").write_text("junk")
+        assert sharded_digests(tmp_path) == ["00ff"]
