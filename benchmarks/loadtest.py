@@ -1,0 +1,345 @@
+"""Load-test harness for the routing service.
+
+Starts a service in-process (or attaches to a running one), drives N
+concurrent clients over the scenario's held-out test demand matrices, and
+reports request-latency percentiles plus throughput as JSON — the nightly
+benchmark workflow archives that JSON as an artifact.
+
+Usage::
+
+    # Warm-service latency under concurrency (self-hosted, ephemeral port)
+    PYTHONPATH=src python benchmarks/loadtest.py zoo-large-sparse \
+        --clients 8 --requests 25 --json loadtest.json
+
+    # Tiny everything — CI-sized sanity pass
+    PYTHONPATH=src python benchmarks/loadtest.py fig6 --smoke
+
+    # Acceptance: warm p50 vs cold per-request process spawn (>= 10x)
+    PYTHONPATH=src python benchmarks/loadtest.py zoo-large-sparse \
+        --cold 3 --assert-speedup 10
+
+    # Served numbers vs the offline batch evaluator (1e-8)
+    PYTHONPATH=src python benchmarks/loadtest.py fig6 --check
+
+    # Attach to an already-running `runner serve`
+    PYTHONPATH=src python benchmarks/loadtest.py fig6 --attach 127.0.0.1:8047
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.api.client import Client, ServiceError  # noqa: E402
+from repro.api.service import ServiceSpec  # noqa: E402
+from repro.api.spec import ScenarioSpec  # noqa: E402
+
+
+def resolve_scenario(target: str, preset: str | None) -> ScenarioSpec:
+    """A registered scenario name or a spec JSON file, preset folded in."""
+    if target.endswith(".json") or Path(target).is_file():
+        spec = ScenarioSpec.from_json(Path(target).read_text())
+    else:
+        from repro.api.presets import get_scenario
+
+        spec = get_scenario(target)
+    if preset is not None:
+        spec = spec.with_updates({"training.preset": preset})
+    return spec
+
+
+def test_demands(scenario: ScenarioSpec) -> list:
+    """The scenario's held-out test demand matrices, in evaluation order."""
+    from repro.api.runner import _SeedRun
+
+    run = _SeedRun(scenario, scenario.evaluation.seeds[0], echo=False)
+    memory_length = run.scale.memory_length
+    return [
+        sequence.matrix(step)
+        for sequence in run.test_seqs
+        for step in range(memory_length, len(sequence))
+    ]
+
+
+def percentiles(latencies_ms: list) -> dict:
+    values = np.asarray(latencies_ms, dtype=float)
+    return {
+        "p50": float(np.percentile(values, 50)),
+        "p90": float(np.percentile(values, 90)),
+        "p99": float(np.percentile(values, 99)),
+        "mean": float(values.mean()),
+        "max": float(values.max()),
+        "count": int(values.size),
+    }
+
+
+def run_loadtest(
+    client: Client,
+    demands: list,
+    clients: int,
+    requests_per_client: int,
+    labels: tuple = (),
+) -> dict:
+    """N threads, each evaluating ``requests_per_client`` round-robin DMs."""
+    latencies: list = []
+    errors: list = []
+    lock = threading.Lock()
+    start_barrier = threading.Barrier(clients)
+
+    def worker(worker_id: int) -> None:
+        mine: list = []
+        start_barrier.wait()
+        for k in range(requests_per_client):
+            demand = demands[(worker_id + k) % len(demands)]
+            t0 = time.perf_counter()
+            try:
+                client.evaluate(demand, labels=labels, request_id=f"w{worker_id}-{k}")
+            except ServiceError as exc:
+                with lock:
+                    errors.append(str(exc))
+                continue
+            mine.append((time.perf_counter() - t0) * 1000.0)
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"loadtest-{i}")
+        for i in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise SystemExit(f"loadtest: {len(errors)} request(s) failed: {errors[0]}")
+    return {
+        "clients": clients,
+        "requests": len(latencies),
+        "latency_ms": percentiles(latencies),
+        "wall_seconds": wall,
+        "throughput_rps": len(latencies) / wall if wall > 0 else float("inf"),
+    }
+
+
+# -- cold comparison -------------------------------------------------------
+
+
+def cold_worker() -> int:
+    """Subprocess body: build the deployment from scratch, answer one request.
+
+    The parent times the whole process — interpreter start, imports,
+    topology build, cache warm-up — which is exactly what a cold
+    per-request spawn costs without the service.
+    """
+    from repro.api.service import RouteRequest
+    from repro.service.engine import ServiceEngine
+
+    spec = ServiceSpec.from_json(sys.stdin.read())
+    engine = ServiceEngine(spec)
+    demand = test_demands(spec.scenario)[0]
+    request = RouteRequest(demand=demand, labels=tuple(engine.evaluable_labels()))
+    outcome = engine.evaluate_batch([request])[0]
+    if isinstance(outcome, Exception):
+        raise outcome
+    print(json.dumps({"ratio": outcome[0].ratio}))
+    return 0
+
+
+def measure_cold(spec: ServiceSpec, samples: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    durations = []
+    for _ in range(samples):
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()), "--cold-worker"],
+            input=spec.to_json(),
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        durations.append((time.perf_counter() - t0) * 1000.0)
+        if proc.returncode != 0:
+            raise SystemExit(f"cold worker failed:\n{proc.stderr}")
+    return {"samples": samples, "latency_ms": percentiles(durations)}
+
+
+# -- offline cross-check ---------------------------------------------------
+
+
+def check_against_offline(client: Client, scenario: ScenarioSpec, demands: list) -> dict:
+    """Served ratios vs :func:`batch_evaluate_routing` for every strategy."""
+    from repro.api.runner import _SeedRun, _strategy_factory
+    from repro.engine.evaluate import batch_evaluate_routing
+
+    run = _SeedRun(scenario, scenario.evaluation.seeds[0], echo=False)
+    network = run.test_graphs[0]
+    served: dict = {sspec.key: [] for sspec in scenario.routing.strategies}
+    for demand in demands:
+        response = client.evaluate(demand, labels=tuple(served))
+        for label in served:
+            served[label].append(response.entry(label).ratio)
+    max_diff = 0.0
+    for sspec in scenario.routing.strategies:
+        offline = batch_evaluate_routing(
+            _strategy_factory(sspec),
+            network,
+            run.test_seqs,
+            memory_length=run.scale.memory_length,
+            backend=scenario.evaluation.backend,
+        ).ratios
+        diff = np.max(np.abs(np.asarray(offline) - np.asarray(served[sspec.key])))
+        max_diff = max(max_diff, float(diff))
+    return {
+        "labels": sorted(served),
+        "demands": len(demands),
+        "max_abs_diff": max_diff,
+        "ok": bool(max_diff <= 1e-8),
+    }
+
+
+# -- entry point -----------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scenario", nargs="?", default="fig6")
+    parser.add_argument("--preset", default=None)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=25, help="per client")
+    parser.add_argument(
+        "--attach",
+        metavar="HOST:PORT",
+        default=None,
+        help="target a running service instead of self-hosting",
+    )
+    parser.add_argument(
+        "--cold",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also time K cold per-request process spawns",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless cold p50 / warm p50 >= X (implies --cold)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare served ratios to the offline batch evaluator (1e-8)",
+    )
+    parser.add_argument(
+        "--assert-p99",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="exit non-zero when warm request p99 exceeds MS milliseconds",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes: 2 clients x 3 requests"
+    )
+    parser.add_argument("--json", dest="json_path", default=None, metavar="FILE")
+    parser.add_argument("--cold-worker", action="store_true", help=argparse.SUPPRESS)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.cold_worker:
+        return cold_worker()
+    if args.smoke:
+        args.clients, args.requests = 2, 3
+    if args.assert_speedup is not None and args.cold == 0:
+        args.cold = 3
+
+    scenario = resolve_scenario(args.scenario, args.preset)
+    demands = test_demands(scenario)
+    if not demands:
+        raise SystemExit("scenario has no held-out test demand matrices")
+    spec = ServiceSpec(scenario=scenario)
+
+    report: dict = {"scenario": scenario.name, "spec_hash": spec.spec_hash()}
+    server = None
+    try:
+        if args.attach:
+            host, _, port = args.attach.rpartition(":")
+            client = Client(host=host or "127.0.0.1", port=int(port))
+        else:
+            from repro.service.server import serve
+
+            print(f"warming {scenario.name} ...", flush=True)
+            t0 = time.perf_counter()
+            server = serve(spec)
+            report["warmup_seconds"] = time.perf_counter() - t0
+            client = Client(host=server.host, port=server.port)
+
+        # Iterative policies only answer through /run; target the rest.
+        labels = tuple(client.health()["evaluable_labels"])
+        client.evaluate(demands[0], labels=labels)  # connectivity + priming
+        report["labels"] = list(labels)
+        report["loadtest"] = run_loadtest(
+            client, demands, args.clients, args.requests, labels=labels
+        )
+        report["service_stats"] = client.stats()
+
+        if args.cold:
+            print(f"timing {args.cold} cold process spawn(s) ...", flush=True)
+            report["cold"] = measure_cold(spec, args.cold)
+            warm_p50 = report["loadtest"]["latency_ms"]["p50"]
+            cold_p50 = report["cold"]["latency_ms"]["p50"]
+            report["cold"]["speedup_p50"] = cold_p50 / warm_p50 if warm_p50 else float("inf")
+
+        if args.check:
+            report["check"] = check_against_offline(client, scenario, demands)
+    finally:
+        if server is not None:
+            server.close()
+
+    print(json.dumps(report, indent=2))
+    if args.json_path:
+        Path(args.json_path).write_text(json.dumps(report, indent=2) + "\n")
+
+    if args.assert_p99 is not None:
+        p99 = report["loadtest"]["latency_ms"]["p99"]
+        if p99 > args.assert_p99:
+            print(
+                f"latency FAILED: p99 {p99:.1f} ms > limit {args.assert_p99:g} ms",
+                file=sys.stderr,
+            )
+            return 1
+    if args.check and not report["check"]["ok"]:
+        print("check FAILED: served ratios diverge from offline", file=sys.stderr)
+        return 1
+    if args.assert_speedup is not None:
+        speedup = report["cold"]["speedup_p50"]
+        if speedup < args.assert_speedup:
+            print(
+                f"speedup FAILED: warm p50 only {speedup:.1f}x better than cold "
+                f"(need >= {args.assert_speedup:g}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -276,6 +276,64 @@ def test_lp_phase_speedup_meets_target():
     )
 
 
+# ---------------------------------------------------------------------------
+# Routing service: warm-cache request latency, with and without HTTP.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service():
+    """A warm deployment on Abilene (strategies only, tiny traffic)."""
+    from repro import api
+
+    scenario = api.ScenarioSpec(
+        name="bench-service",
+        topology={"name": "abilene"},
+        traffic={
+            "model": "bimodal",
+            "length": 8,
+            "cycle_length": 4,
+            "num_train": 1,
+            "num_test": 1,
+        },
+        routing={"strategies": ["shortest_path", "ecmp"]},
+        training={"preset": "quick"},
+    )
+    # Window 0: these benches measure the per-request path, not the
+    # coalescing wait.
+    spec = api.ServiceSpec(scenario=scenario, batch_window_ms=0.0)
+    with api.serve(spec) as server:
+        dm = bimodal_matrix(11, seed=3)
+        server.evaluate(api.RouteRequest(demand=dm))  # prime every cache
+        yield server, dm
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_request_http(benchmark, service):
+    """One warm evaluate through the full client -> HTTP -> tick path."""
+    from repro.api.client import Client
+
+    server, dm = service
+    client = Client(port=server.port)
+    response = benchmark(client.evaluate, dm)
+    assert response.entry("shortest_path").ratio >= 1.0
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_engine_tick(benchmark, service):
+    """One warm 8-request coalesced tick on the engine, no transport."""
+    from repro.api.service import RouteRequest
+
+    server, dm = service
+    requests = [RouteRequest(demand=dm) for _ in range(8)]
+
+    def tick():
+        return server.engine.evaluate_batch(requests)
+
+    outcomes = benchmark(tick)
+    assert all(not isinstance(o, Exception) for o in outcomes)
+
+
 def test_sparse_backend_beats_dense_on_large_topology():
     """Acceptance check: sparse wins on a ≥ 200-node sparse topology.
 

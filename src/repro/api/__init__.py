@@ -63,6 +63,16 @@ from repro.api.presets import (
     register_scenario,
     scenario_names,
 )
+from repro.api.service import (
+    SCHEMA_VERSION,
+    RouteEntry,
+    RouteRequest,
+    RouteResponse,
+    ServiceSpec,
+)
+from repro.api import client  # noqa: F401 - expose api.client.Client
+from repro.api.client import Client, ServiceError
+from repro.service.server import ServiceServer, serve
 
 del _components
 
@@ -103,4 +113,13 @@ __all__ = [
     "get_scenario",
     "register_scenario",
     "scenario_names",
+    "SCHEMA_VERSION",
+    "ServiceSpec",
+    "RouteRequest",
+    "RouteEntry",
+    "RouteResponse",
+    "Client",
+    "ServiceError",
+    "ServiceServer",
+    "serve",
 ]

@@ -1,0 +1,178 @@
+"""Typed client for the routing service — no hand-rolled HTTP framing.
+
+:class:`Client` wraps the service's versioned JSON wire schema (see
+:mod:`repro.api.service` and the README "Serving" section) behind the same
+typed records the server speaks: ``evaluate`` takes a demand matrix and
+returns a :class:`~repro.api.service.RouteResponse`; ``run`` returns a
+full :class:`~repro.api.results.ScenarioResult`; ``reload`` takes anything
+:func:`repro.api.serve` accepts.  Transport is stdlib ``http.client`` with
+one connection per call, so a single ``Client`` is safe to share across
+threads (the loadtest harness does).
+
+Failures surface as :class:`ServiceError` carrying the HTTP status and the
+server's message — a 400 names the validation problem, a 503 means the
+service is draining for shutdown.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.results import ScenarioResult
+from repro.api.service import RouteRequest, RouteResponse
+from repro.api.spec import ScenarioSpec
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error (or could not be reached).
+
+    Attributes
+    ----------
+    status:
+        HTTP status code, or 0 when the request never got an answer
+        (connection refused, timeout).
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class Client:
+    """A connection to one running routing service.
+
+    Parameters
+    ----------
+    host / port:
+        Where the service listens (``ServiceServer.host`` / ``.port``).
+    timeout:
+        Per-request socket timeout in seconds.  ``run()`` and ``reload()``
+        can legitimately take much longer than ``evaluate()`` — they
+        train/execute whole scenarios — so those calls stretch the
+        timeout by :attr:`SLOW_CALL_FACTOR`.
+    """
+
+    #: Multiplier applied to ``timeout`` for run/reload calls.
+    SLOW_CALL_FACTOR = 20.0
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8047, timeout: float = 30.0):
+        if not isinstance(host, str) or not host:
+            raise ValueError(f"host must be a non-empty string, got {host!r}")
+        if isinstance(port, bool) or not isinstance(port, int) or not 1 <= port <= 65535:
+            raise ValueError(f"port must be an int in [1, 65535], got {port!r}")
+        self.host = host
+        self.port = port
+        self.timeout = float(timeout)
+
+    def __repr__(self) -> str:
+        return f"Client({self.host!r}, port={self.port})"
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout if timeout is not None else self.timeout
+        )
+        try:
+            connection.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        except (OSError, socket.timeout, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from None
+        finally:
+            connection.close()
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServiceError(
+                f"service returned non-JSON (status {status})", status=status
+            ) from None
+        if status >= 400:
+            message = data.get("error") if isinstance(data, dict) else None
+            raise ServiceError(
+                message or f"service returned status {status}", status=status
+            )
+        return data
+
+    # -- API -----------------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness plus deployment identity (scenario, labels, uptime)."""
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        """Cache counters and coalescing telemetry."""
+        return self._request("GET", "/stats")
+
+    def evaluate(
+        self,
+        demand: np.ndarray,
+        history: Optional[np.ndarray] = None,
+        labels: Sequence[str] = (),
+        request_id: str = "",
+    ) -> RouteResponse:
+        """Evaluate one demand matrix against the deployed routings.
+
+        Arguments mirror :class:`~repro.api.service.RouteRequest` (which
+        validates locally before anything goes on the wire).
+        """
+        request = RouteRequest(
+            demand=demand,
+            history=history,
+            labels=tuple(labels),
+            request_id=request_id,
+        )
+        return RouteResponse.from_dict(
+            self._request("POST", "/evaluate", request.to_dict())
+        )
+
+    def run(self) -> ScenarioResult:
+        """The deployment's full offline scenario result (server-memoised)."""
+        data = self._request(
+            "POST", "/run", {}, timeout=self.timeout * self.SLOW_CALL_FACTOR
+        )
+        if "result" not in data:
+            raise ServiceError("malformed /run response: missing 'result'")
+        return ScenarioResult.from_dict(data["result"])
+
+    def reload(self, spec: Union[Mapping, ScenarioSpec, str]) -> dict:
+        """Swap the deployment (see :meth:`ServiceServer.reload`).
+
+        Accepts a :class:`~repro.api.service.ServiceSpec` mapping, a
+        :class:`ScenarioSpec` (or its mapping), or a registered scenario
+        name.  Blocks until the new engine is built and swapped in.
+        """
+        if isinstance(spec, str):
+            payload: dict = {"scenario": spec}
+        elif isinstance(spec, ScenarioSpec):
+            payload = {"scenario": spec.to_dict()}
+        elif isinstance(spec, Mapping):
+            payload = dict(spec)
+        else:
+            payload = spec.to_dict()  # ServiceSpec (avoids importing it here)
+        return self._request(
+            "POST", "/reload", payload, timeout=self.timeout * self.SLOW_CALL_FACTOR
+        )
+
+
+__all__ = ["Client", "ServiceError"]

@@ -35,6 +35,7 @@ from repro.engine.backend import (
     edge_density,
     select_backend,
     shared_factorisation_cache,
+    use_factorisation_cache,
 )
 from repro.engine.softmin_batch import (
     batch_distances_to_targets,
@@ -59,6 +60,7 @@ __all__ = [
     "edge_density",
     "select_backend",
     "shared_factorisation_cache",
+    "use_factorisation_cache",
     "batch_distances_to_targets",
     "batch_prune_by_distance",
     "batch_softmin_ratios",

@@ -27,6 +27,7 @@ pieces that decide *which* solver runs:
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
 import numpy as np
@@ -67,13 +68,19 @@ def edge_density(network: Network) -> float:
 # The ambient default consulted by ``backend="auto"`` call sites; rebound
 # by :func:`default_backend` so high-level entry points (``batch_evaluate``)
 # can steer every solve underneath them without threading a parameter
-# through the environment layer.
-_ACTIVE_DEFAULT = "auto"
+# through the environment layer.  Thread-local: two service threads running
+# ``batch_evaluate`` with different backends must not race each other's
+# context-manager overrides.
+_AMBIENT = threading.local()
 
 
 def active_default() -> str:
-    """The backend ``"auto"`` currently resolves through (default ``"auto"``)."""
-    return _ACTIVE_DEFAULT
+    """The backend ``"auto"`` currently resolves through (default ``"auto"``).
+
+    The binding is per-thread: :func:`default_backend` in one thread never
+    leaks into another.
+    """
+    return getattr(_AMBIENT, "backend", "auto")
 
 
 @contextmanager
@@ -83,14 +90,15 @@ def default_backend(backend: str):
     ``"auto"`` inside the block falls through to the size/density rule as
     usual; ``"dense"``/``"sparse"`` pin every auto call site.  Explicit
     non-auto arguments at a call site always win over the ambient default.
+    The override is thread-local, so concurrent ``batch_evaluate`` calls on
+    different threads cannot observe each other's backend.
     """
-    global _ACTIVE_DEFAULT
-    previous = _ACTIVE_DEFAULT
-    _ACTIVE_DEFAULT = check_backend(backend)
+    previous = getattr(_AMBIENT, "backend", "auto")
+    _AMBIENT.backend = check_backend(backend)
     try:
         yield
     finally:
-        _ACTIVE_DEFAULT = previous
+        _AMBIENT.backend = previous
 
 
 def select_backend(network: Network, backend: str = "auto") -> str:
@@ -103,7 +111,7 @@ def select_backend(network: Network, backend: str = "auto") -> str:
     """
     backend = check_backend(backend)
     if backend == "auto":
-        backend = _ACTIVE_DEFAULT
+        backend = active_default()
     if backend != "auto":
         return backend
     if (
@@ -179,8 +187,31 @@ SHARED_FACTORISATION_CACHE = FactorisationCache(max_entries=256)
 
 
 def shared_factorisation_cache() -> FactorisationCache:
-    """The process-wide default :class:`FactorisationCache`."""
-    return SHARED_FACTORISATION_CACHE
+    """The ambient default :class:`FactorisationCache`.
+
+    Normally the process-wide :data:`SHARED_FACTORISATION_CACHE`; inside a
+    :func:`use_factorisation_cache` block on the calling thread, that
+    thread's injected cache instead.
+    """
+    override = getattr(_AMBIENT, "factorisation_cache", None)
+    return override if override is not None else SHARED_FACTORISATION_CACHE
+
+
+@contextmanager
+def use_factorisation_cache(cache: FactorisationCache):
+    """Route this thread's default-cache solves through ``cache``.
+
+    The service binds each deployment's private cache this way, so solves
+    that would fall back to the module global hit the deployment's cache
+    instead — without threading a handle through the environment layer, and
+    without affecting other threads.
+    """
+    previous = getattr(_AMBIENT, "factorisation_cache", None)
+    _AMBIENT.factorisation_cache = cache
+    try:
+        yield cache
+    finally:
+        _AMBIENT.factorisation_cache = previous
 
 
 __all__ = [
@@ -197,4 +228,5 @@ __all__ = [
     "FactorisationCache",
     "SHARED_FACTORISATION_CACHE",
     "shared_factorisation_cache",
+    "use_factorisation_cache",
 ]

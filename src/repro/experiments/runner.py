@@ -14,6 +14,9 @@ Usage::
     python -m repro.experiments.runner sweep fig6 --grid traffic.model=bimodal,gravity \
         --grid evaluation.seeds=0,1,2 --workers 4 --store results/
 
+    # Hold a deployment warm and answer evaluation requests over HTTP
+    python -m repro.experiments.runner serve fig6 --preset quick --port 8047
+
     # Discover what the registries provide
     python -m repro.experiments.runner list scenarios
     python -m repro.experiments.runner list topologies
@@ -171,6 +174,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the resolved spec and grid as JSON and exit without running",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="load a scenario once (train policies, warm LP caches) and "
+        "answer evaluation requests over HTTP until interrupted",
+    )
+    serve_p.add_argument(
+        "scenario", help="scenario name (see 'list scenarios') or path to a JSON spec"
+    )
+    _add_scale_options(serve_p)
+    serve_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help="dotted-path spec override, e.g. --set traffic.model=gravity",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8047,
+        help="listen port (0 picks a free one; the bound port is printed)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="max requests coalesced into one evaluation tick",
+    )
+    serve_p.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="coalescing window: how long a tick waits for companions",
+    )
+    serve_p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result-store directory backing the /run endpoint",
+    )
+
     list_p = sub.add_parser("list", help="list registered components or scenarios")
     list_p.add_argument("axis", nargs="?", default="all", choices=LIST_AXES)
 
@@ -305,6 +351,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api.service import ServiceSpec
+    from repro.service.server import serve
+
+    scenario = _resolve_spec(args)
+    spec = ServiceSpec(
+        scenario=scenario,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        batch_window_ms=args.window_ms,
+        result_store=args.store,
+    )
+    server = serve(spec, echo=args.echo)
+    # One parse-friendly readiness line: CI smoke and the loadtest harness
+    # wait for "serving" on stdout before opening connections.
+    print(
+        f"serving {scenario.name} on http://{server.host}:{server.port} "
+        f"(labels: {', '.join(server.engine.labels())})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     axes = [a for a in LIST_AXES if a != "all"] if args.axis == "all" else [args.axis]
     for axis in axes:
@@ -398,6 +474,8 @@ def main(argv=None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "list":
             return _cmd_list(args)
         if args.command == "bench":

@@ -24,6 +24,7 @@ from repro.flows.lp import (
     solve_mcf_per_pair,
     solve_optimal_average_utilisation,
     solve_optimal_max_utilisation,
+    use_lp_cache,
 )
 from repro.flows.simulator import (
     average_link_utilisation,
@@ -45,6 +46,7 @@ __all__ = [
     "solve_optimal_max_utilisation",
     "solve_optimal_average_utilisation",
     "solve_mcf_per_pair",
+    "use_lp_cache",
     "link_loads",
     "max_link_utilisation",
     "average_link_utilisation",

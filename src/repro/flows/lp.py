@@ -51,6 +51,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -474,10 +476,37 @@ class LinearProgramCache(KeyedLRU):
 #: reuse each other's assembled systems and solver models.
 SHARED_LP_CACHE = LinearProgramCache(max_entries=32)
 
+# Per-thread cache override installed by :func:`use_lp_cache` — the same
+# ambient-injection pattern as ``repro.engine.backend``'s thread-local
+# backend default.
+_AMBIENT = threading.local()
+
 
 def shared_lp_cache() -> LinearProgramCache:
-    """The process-wide default :class:`LinearProgramCache`."""
-    return SHARED_LP_CACHE
+    """The ambient default :class:`LinearProgramCache`.
+
+    Normally the process-wide :data:`SHARED_LP_CACHE`; inside a
+    :func:`use_lp_cache` block on the calling thread, that thread's
+    injected cache instead.
+    """
+    override = getattr(_AMBIENT, "lp_cache", None)
+    return override if override is not None else SHARED_LP_CACHE
+
+
+@contextmanager
+def use_lp_cache(cache: LinearProgramCache):
+    """Route this thread's default-cache LP solves through ``cache``.
+
+    Lets a long-lived deployment (the routing service) keep private warm
+    structures without threading ``lp_cache=`` through every layer, and
+    without other threads observing the override.
+    """
+    previous = getattr(_AMBIENT, "lp_cache", None)
+    _AMBIENT.lp_cache = cache
+    try:
+        yield cache
+    finally:
+        _AMBIENT.lp_cache = previous
 
 
 # ---------------------------------------------------------------------------
@@ -503,8 +532,8 @@ def solve_optimal_max_utilisation(
     * capacity: for every edge, ``sum_t f_t(e) <= U * c(e)``.
 
     The constraint structure is fetched from ``lp_cache`` (default: the
-    process-shared :data:`SHARED_LP_CACHE`), so repeated solves over the
-    same destination support are RHS-only re-solves.
+    ambient cache from :func:`shared_lp_cache`), so repeated solves over
+    the same destination support are RHS-only re-solves.
 
     Raises
     ------
@@ -515,7 +544,7 @@ def solve_optimal_max_utilisation(
     destinations = demand_destinations(demand)
     if len(destinations) == 0:
         return OptimalRouting(0.0, np.zeros(network.num_edges), np.zeros((0, network.num_edges)))
-    cache = lp_cache if lp_cache is not None else SHARED_LP_CACHE
+    cache = lp_cache if lp_cache is not None else shared_lp_cache()
     return cache.structure(network, destinations, "max").solve(demand)
 
 
@@ -540,7 +569,7 @@ def solve_optimal_average_utilisation(
     destinations = demand_destinations(demand)
     if len(destinations) == 0:
         return OptimalRouting(0.0, np.zeros(network.num_edges), np.zeros((0, network.num_edges)))
-    cache = lp_cache if lp_cache is not None else SHARED_LP_CACHE
+    cache = lp_cache if lp_cache is not None else shared_lp_cache()
     return cache.structure(network, destinations, "average").solve(demand)
 
 
@@ -839,4 +868,5 @@ __all__ = [
     "solve_mcf_per_pair",
     "solve_optimal_average_utilisation",
     "solve_optimal_max_utilisation",
+    "use_lp_cache",
 ]

@@ -1,0 +1,25 @@
+"""``repro.service`` — the persistent routing service.
+
+A deployment (described by :class:`repro.api.service.ServiceSpec`) is
+loaded once — topology built, policies trained, strategies materialised,
+LP structures and factorisations warmed — and then answers evaluation
+requests at millisecond latency:
+
+* :class:`~repro.service.engine.ServiceEngine` — the warm state plus the
+  batch evaluation path, bit-compatible with
+  :func:`repro.engine.batch_evaluate_routing` / :func:`repro.api.run`;
+* :class:`~repro.service.server.ServiceServer` — a threaded HTTP server
+  that *coalesces* concurrent requests into one engine tick, memoises
+  full runs through the spec-hashed result store, and swaps engines
+  atomically on reload;
+* :func:`~repro.service.server.serve` — the public entry point
+  (re-exported as :func:`repro.api.serve`).
+
+The typed client lives in :mod:`repro.api.client`; the wire records in
+:mod:`repro.api.service`.
+"""
+
+from repro.service.engine import ServiceEngine
+from repro.service.server import ServiceServer, serve
+
+__all__ = ["ServiceEngine", "ServiceServer", "serve"]

@@ -1,0 +1,378 @@
+"""The service's concurrent half: HTTP front-end, coalescing, reload.
+
+Request lifecycle::
+
+    handler thread:  parse JSON -> RouteRequest -> batcher.submit() [blocks]
+    batcher thread:  wait for work -> sleep batch_window_ms -> take up to
+                     `workers` queued requests -> one engine tick
+                     (ServiceEngine.evaluate_batch) -> distribute results
+    handler thread:  RouteResponse -> JSON
+
+Coalescing is what turns K concurrent identical requests into one LP solve:
+the tick evaluates them sequentially against the engine's caches, so the
+first pays the (already-warm) solve and the rest hit.  Distinct-support
+requests in one tick don't serialise behind each other's *builds* either —
+cache misses build outside the cache lock (see
+:class:`repro.utils.caching.KeyedLRU`).
+
+Reload is copy-and-swap: the new :class:`ServiceEngine` is built completely
+(train, warm) while the old one keeps answering, then the engine reference
+swaps atomically.  A tick pins the engine reference once at its start, so
+in-flight batches drain on the old engine and nothing ever observes a
+half-built deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping, Optional, Union
+
+from repro.api.service import (
+    SCHEMA_VERSION,
+    RouteRequest,
+    RouteResponse,
+    ServiceSpec,
+)
+from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.service.engine import ServiceEngine
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is shutting down and no longer accepts requests."""
+
+
+class _Pending:
+    """One enqueued request waiting for its tick."""
+
+    __slots__ = ("request", "event", "entries", "batched", "elapsed_ms", "error")
+
+    def __init__(self, request: RouteRequest):
+        self.request = request
+        self.event = threading.Event()
+        self.entries = None
+        self.batched = 1
+        self.elapsed_ms = 0.0
+        self.error: Optional[BaseException] = None
+
+
+class _Batcher:
+    """Coalesces concurrent requests into engine ticks (module docstring)."""
+
+    def __init__(self, server: "ServiceServer"):
+        self._server = server
+        self._cv = threading.Condition()
+        self._queue: deque = deque()
+        self._closed = False
+        self.ticks = 0
+        self.requests = 0
+        self.max_coalesced = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-batcher", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, request: RouteRequest) -> RouteResponse:
+        """Enqueue one request and block until its tick answers it."""
+        pending = _Pending(request)
+        with self._cv:
+            if self._closed:
+                raise ServiceClosedError("service is shutting down")
+            self._queue.append(pending)
+            self._cv.notify()
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        return RouteResponse(
+            entries=tuple(pending.entries),
+            request_id=request.request_id,
+            batched=pending.batched,
+            elapsed_ms=pending.elapsed_ms,
+        )
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if self._closed and not self._queue:
+                    return
+            # Coalescing window: give concurrent callers a chance to land
+            # in this tick.  Spec knobs are read through the server so a
+            # reload's new window/width apply from the next tick.
+            window = self._server.spec.batch_window_ms / 1000.0
+            if window > 0.0:
+                time.sleep(window)
+            width = self._server.spec.workers
+            with self._cv:
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), width))
+                ]
+            if not batch:
+                continue
+            engine = self._server.engine  # pin: reloads swap for later ticks
+            start = time.perf_counter()
+            try:
+                outcomes = engine.evaluate_batch([p.request for p in batch])
+            except BaseException as exc:  # engine-level failure fails the tick
+                outcomes = [exc] * len(batch)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.ticks += 1
+            self.requests += len(batch)
+            self.max_coalesced = max(self.max_coalesced, len(batch))
+            for pending, outcome in zip(batch, outcomes):
+                if isinstance(outcome, BaseException):
+                    pending.error = outcome
+                else:
+                    pending.entries = outcome
+                pending.batched = len(batch)
+                pending.elapsed_ms = elapsed_ms
+                pending.event.set()
+
+    def close(self) -> None:
+        """Stop accepting work, drain the loop, and fail queued requests."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        self._thread.join(timeout=30.0)
+        with self._cv:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        for pending in leftovers:
+            pending.error = ServiceClosedError("service closed before the request ran")
+            pending.event.set()
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "ServiceServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP endpoints; see README "Serving" for the wire schema."""
+
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the caller's business, not stderr's
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fail(self, status: int, message: str) -> None:
+        self._send(status, {"schema_version": SCHEMA_VERSION, "error": message})
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecValidationError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise SpecValidationError(
+                f"request body must be a JSON object, got {type(data).__name__}"
+            )
+        return data
+
+    # -- endpoints -----------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        if self.path == "/health":
+            self._send(200, service.health())
+        elif self.path == "/stats":
+            self._send(200, service.stats())
+        else:
+            self._fail(404, f"unknown endpoint {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        try:
+            body = self._read_json()
+            if self.path == "/evaluate":
+                response = service.evaluate(RouteRequest.from_dict(body))
+                self._send(200, response.to_dict())
+            elif self.path == "/run":
+                result = service.run_result()
+                self._send(
+                    200,
+                    {"schema_version": SCHEMA_VERSION, "result": result.to_dict()},
+                )
+            elif self.path == "/reload":
+                info = service.reload(body)
+                self._send(200, info)
+            else:
+                self._fail(404, f"unknown endpoint {self.path!r}")
+        except SpecValidationError as exc:
+            self._fail(400, str(exc))
+        except ServiceClosedError as exc:
+            self._fail(503, str(exc))
+        except Exception as exc:  # per-request isolation: report, keep serving
+            self._fail(500, f"{type(exc).__name__}: {exc}")
+
+
+class ServiceServer:
+    """A running deployment: engine + batcher + threaded HTTP front-end.
+
+    Construction is synchronous and expensive (trains policies, warms
+    caches); by the time it returns the service answers requests.  Use as
+    a context manager, or call :meth:`close` explicitly.  The bound port
+    is :attr:`port` (useful with the spec's default ephemeral port 0).
+    """
+
+    def __init__(self, spec: Union[ServiceSpec, ScenarioSpec, Mapping, str], echo: bool = False):
+        self.spec = coerce_service_spec(spec)
+        self._started = time.time()
+        self._engine = ServiceEngine(self.spec, echo=echo)
+        self._engine_lock = threading.Lock()
+        self._batcher = _Batcher(self)
+        self._http = _ServiceHTTPServer((self.spec.host, self.spec.port), _Handler)
+        self._http.service = self
+        self.host = self._http.server_address[0]
+        self.port = int(self._http.server_address[1])
+        self._http_thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        self._closed = False
+
+    # -- request surface (also usable in-process, without HTTP) --------
+
+    @property
+    def engine(self) -> ServiceEngine:
+        """The current engine; reads are atomic, reloads swap the reference."""
+        return self._engine
+
+    def evaluate(self, request: RouteRequest) -> RouteResponse:
+        """Answer one request through the coalescing tick loop."""
+        return self._batcher.submit(request)
+
+    def run_result(self):
+        """The full offline scenario result (memoised; see the engine)."""
+        return self.engine.run_result()
+
+    def reload(self, spec: Union[ServiceSpec, ScenarioSpec, Mapping, str]) -> dict:
+        """Deploy a new spec without dropping the socket.
+
+        The replacement engine is built completely — topology, training,
+        warm-up — while the old engine keeps serving; then the reference
+        swaps atomically.  Ticks already running hold the old engine and
+        drain undisturbed.  The bind address cannot change (the socket is
+        kept); batching knobs take effect from the next tick.
+        """
+        new_spec = coerce_service_spec(spec)
+        engine = ServiceEngine(new_spec)
+        with self._engine_lock:
+            self.spec = new_spec
+            self._engine = engine
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "reloaded": True,
+            "scenario": new_spec.scenario.name,
+            "spec_hash": new_spec.spec_hash(),
+        }
+
+    # -- introspection -------------------------------------------------
+
+    def health(self) -> dict:
+        engine = self.engine
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "scenario": engine.spec.scenario.name,
+            "spec_hash": engine.spec.spec_hash(),
+            "labels": engine.labels(),
+            "evaluable_labels": engine.evaluable_labels(),
+            "uptime_s": time.time() - self._started,
+        }
+
+    def stats(self) -> dict:
+        stats = self.engine.stats()
+        stats["schema_version"] = SCHEMA_VERSION
+        stats["ticks"] = self._batcher.ticks
+        stats["requests"] = self._batcher.requests
+        stats["max_coalesced"] = self._batcher.max_coalesced
+        return stats
+
+    # -- lifecycle -----------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`close` is called (the CLI foreground path)."""
+        self._http_thread.join()
+
+    def close(self) -> None:
+        """Drain in-flight work and stop the HTTP listener (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        self._http.shutdown()
+        self._http.server_close()
+        self._http_thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServiceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def coerce_service_spec(
+    spec: Union[ServiceSpec, ScenarioSpec, Mapping, str]
+) -> ServiceSpec:
+    """Normalise the accepted deployment descriptions into a ServiceSpec.
+
+    Accepts a :class:`ServiceSpec`, a :class:`ScenarioSpec` (wrapped with
+    default server knobs), a registered scenario name, a service-spec
+    mapping, or — for convenience — a bare scenario mapping (detected by
+    the absence of a ``scenario`` key).
+    """
+    if isinstance(spec, ServiceSpec):
+        return spec
+    if isinstance(spec, (ScenarioSpec, str)):
+        return ServiceSpec(scenario=spec)
+    if isinstance(spec, Mapping):
+        if "scenario" in spec:
+            return ServiceSpec.from_dict(spec)
+        return ServiceSpec(scenario=ScenarioSpec.from_dict(spec))
+    raise SpecValidationError(
+        "serve() takes a ServiceSpec, ScenarioSpec, registered scenario "
+        f"name, or spec mapping, got {type(spec).__name__}"
+    )
+
+
+def serve(
+    spec: Union[ServiceSpec, ScenarioSpec, Mapping, str], echo: bool = False
+) -> ServiceServer:
+    """Start a routing service for ``spec`` and return the running server.
+
+    The returned :class:`ServiceServer` is already listening on
+    ``(server.host, server.port)``; call :meth:`ServiceServer.serve_forever`
+    to block (the CLI does), or use it as a context manager::
+
+        with api.serve("zoo-large-sparse") as server:
+            client = api.client.Client(port=server.port)
+            print(client.evaluate(dm).ratios)
+    """
+    return ServiceServer(spec, echo=echo)
+
+
+__all__ = ["ServiceClosedError", "ServiceServer", "coerce_service_spec", "serve"]

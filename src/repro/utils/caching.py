@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Optional, TypeVar
@@ -24,6 +25,13 @@ class KeyedLRU:
     True LRU, not FIFO: every hit refreshes recency (``move_to_end``), so
     a working set that is read on every step is never evicted by one-off
     entries.  Subclasses add only their key function and value builder.
+
+    Safe under concurrent readers and writers (the routing service hits one
+    cache from many request threads): map access is lock-guarded, and
+    :meth:`lookup` is *single-flight* per key — concurrent lookups of the
+    same missing key run the builder exactly once while the others wait for
+    its result, and lookups of **different** keys build concurrently (the
+    lock is never held across a ``build()`` call).
     """
 
     def __init__(self, max_entries: int):
@@ -31,41 +39,74 @@ class KeyedLRU:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._store: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
+        self._pending: dict = {}  # key -> Event set when a build resolves
         self.hits = 0
         self.misses = 0
 
     def lookup(self, key, build: Callable[[], Value]) -> Value:
-        """The cached value for ``key``, building (and counting a miss) once."""
-        cached = self.get(key)
-        if cached is not None:
-            return cached
-        self.misses += 1
-        value = build()
-        self.insert(key, value)
+        """The cached value for ``key``, building (and counting a miss) once.
+
+        If another thread is already building ``key``, wait for it instead
+        of duplicating the work; if that build fails (or its entry is
+        evicted before we re-check), take over as the builder.
+        """
+        while True:
+            with self._lock:
+                cached = self._store.get(key)
+                if cached is not None:
+                    self._store.move_to_end(key)
+                    self.hits += 1
+                    return cached
+                event = self._pending.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    self.misses += 1
+                    break
+            event.wait()
+        try:
+            value = build()
+        except BaseException:
+            with self._lock:
+                self._pending.pop(key, None)
+                event.set()  # waiters retry and become the builder
+            raise
+        with self._lock:
+            self._insert_locked(key, value)
+            self._pending.pop(key, None)
+            event.set()
         return value
 
     def get(self, key) -> Optional[Value]:
         """The cached value refreshing its recency, or ``None`` (counts a hit)."""
-        cached = self._store.get(key)
-        if cached is not None:
-            self._store.move_to_end(key)
-            self.hits += 1
-        return cached
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self._store.move_to_end(key)
+                self.hits += 1
+            return cached
 
     def insert(self, key, value: Value) -> None:
         """Record ``value`` as most-recent, evicting the LRU entry if full."""
+        with self._lock:
+            self._insert_locked(key, value)
+
+    def _insert_locked(self, key, value: Value) -> None:
         self._store[key] = value
         self._store.move_to_end(key)
         if len(self._store) > self.max_entries:
             self._store.popitem(last=False)
 
     def clear(self) -> None:
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
 
 def sharded_entry_path(root: Path, digest: str) -> Path:

@@ -314,6 +314,56 @@ class TestBackendSelection:
             with default_backend("gpu"):
                 pass  # pragma: no cover - the context must raise on entry
 
+    def test_default_backend_is_thread_local(self):
+        import threading
+
+        net = abilene()
+        main_holds = threading.Event()
+        worker_done = threading.Event()
+        seen = {}
+
+        def worker():
+            main_holds.wait(5.0)
+            # The main thread's ambient "sparse" must not leak here.
+            seen["worker"] = select_backend(net)
+            worker_done.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        with default_backend("sparse"):
+            main_holds.set()
+            assert worker_done.wait(5.0)
+            seen["main"] = select_backend(net)
+        thread.join(timeout=5.0)
+        assert seen == {"worker": "dense", "main": "sparse"}
+
+    def test_shared_caches_are_thread_locally_overridable(self):
+        import threading
+
+        from repro.engine.backend import (
+            SHARED_FACTORISATION_CACHE,
+            shared_factorisation_cache,
+            use_factorisation_cache,
+        )
+
+        private = FactorisationCache(max_entries=4)
+        inside = threading.Event()
+        seen = {}
+
+        def worker():
+            inside.wait(5.0)
+            seen["worker"] = shared_factorisation_cache()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        with use_factorisation_cache(private):
+            inside.set()
+            seen["main"] = shared_factorisation_cache()
+            thread.join(timeout=5.0)
+        assert seen["main"] is private
+        assert seen["worker"] is SHARED_FACTORISATION_CACHE
+        assert shared_factorisation_cache() is SHARED_FACTORISATION_CACHE
+
 
 class TestFactorisationCache:
     def _workload(self, seed=0):

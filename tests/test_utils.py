@@ -142,6 +142,90 @@ class TestKeyedLRU:
         assert len(lru) == 0 and lru.misses == 1
         assert lru.lookup("a", lambda: 7) == 7
 
+    def test_concurrent_same_key_builds_once(self):
+        import threading
+
+        lru = self._lru()
+        builds = []
+        gate = threading.Event()
+
+        def build():
+            gate.wait(5.0)  # hold every would-be builder at the same point
+            builds.append(1)
+            return 42
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(lru.lookup("k", build)))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert results == [42] * 8
+        assert len(builds) == 1  # single-flight: one build, everyone else waits
+        assert lru.misses == 1 and lru.hits == 7
+
+    def test_concurrent_distinct_keys_build_concurrently(self):
+        import threading
+
+        lru = self._lru(max_entries=4)
+        barrier = threading.Barrier(3, timeout=10.0)
+
+        def build(value):
+            # Reaching the barrier proves all three builds run at once —
+            # a build inside the cache lock would deadlock here.
+            barrier.wait()
+            return value
+
+        results = {}
+        threads = [
+            threading.Thread(
+                target=lambda k=k: results.__setitem__(k, lru.lookup(k, lambda: build(k)))
+            )
+            for k in ("a", "b", "c")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert results == {"a": "a", "b": "b", "c": "c"}
+
+    def test_failed_build_hands_off_to_waiter(self):
+        import threading
+
+        lru = self._lru()
+        first_running = threading.Event()
+        outcomes = []
+
+        def failing():
+            first_running.set()
+            import time
+
+            time.sleep(0.05)  # keep the waiter parked on the pending event
+            raise RuntimeError("boom")
+
+        def first():
+            try:
+                lru.lookup("k", failing)
+            except RuntimeError as exc:
+                outcomes.append(("raised", str(exc)))
+
+        def second():
+            first_running.wait(5.0)
+            outcomes.append(("value", lru.lookup("k", lambda: 7)))
+
+        threads = [threading.Thread(target=first), threading.Thread(target=second)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert ("raised", "boom") in outcomes
+        assert ("value", 7) in outcomes
+        assert lru.get("k") == 7
+
 
 class TestShardedAtomicWrites:
     def test_entry_path_and_digest_listing(self, tmp_path):
