@@ -1,0 +1,175 @@
+"""Per-task overhead microbenchmark for the distributed work queue.
+
+Answers one question: how much does the queue protocol add per task over
+executing the same sub-spec directly?  Three timings per task:
+
+* **execute** — the raw ``_execute`` path (serialise → run → deserialise),
+  exactly what a local pool worker spends;
+* **machinery** — the pure queue cycle with the execution swapped for a
+  pre-computed result: enqueue → claim (rename + lease write) → heartbeat
+  → store record → complete + done marker;
+* **queued** — the worker loop end to end (claim + lease + execute +
+  record), i.e. what a queue worker actually spends per task.
+
+``machinery`` is the protocol's price: ~10 small filesystem operations,
+single-digit milliseconds on local disk.  The nightly workflow asserts it
+stays under a documented ceiling (default 100 ms — generous for CI's
+shared disks; see ``--assert-overhead-ms``) so queue-layer regressions
+surface as red runs, not as mysteriously slow sweeps.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/queue_bench.py --tasks 32 \
+        --assert-overhead-ms 100 --json queue-bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.api.results import ScenarioResult  # noqa: E402
+from repro.api.spec import ScenarioSpec  # noqa: E402
+from repro.api.store import ResultStore  # noqa: E402
+from repro.api.sweep import _execute, decompose  # noqa: E402
+from repro.distributed.queue import TaskQueue  # noqa: E402
+from repro.distributed.worker import execute_task  # noqa: E402
+
+
+def bench_specs(tasks: int) -> list:
+    """Training-free single-seed sub-specs, one per task (distinct hashes)."""
+    spec = ScenarioSpec(
+        name="queue-bench",
+        traffic={"model": "bimodal", "length": 8, "cycle_length": 4,
+                 "num_train": 1, "num_test": 1},
+        routing={"strategies": ["shortest_path"]},
+        evaluation={"metrics": ["utilisation_ratio"], "seeds": list(range(tasks))},
+    )
+    return [sub for _, sub in decompose(spec)]
+
+
+def time_execute(specs: list) -> list:
+    timings = []
+    for sub in specs:
+        start = time.perf_counter()
+        _execute(sub.to_dict(), False)
+        timings.append(time.perf_counter() - start)
+    return timings
+
+
+def time_machinery(specs: list, root: Path) -> list:
+    """The full queue cycle per task with a no-op execution.
+
+    The recorded result is precomputed once outside the timed region, so
+    the loop measures exactly what the protocol adds: pending write, claim
+    rename + lease write, one heartbeat, the store write and the
+    done-marker + lease release.
+    """
+    store = ResultStore(root / "store")
+    queue = TaskQueue.create(root / "q", store.directory, lease_seconds=30.0)
+    canned = ScenarioResult.from_dict(_execute(specs[0].to_dict(), False))
+    timings = []
+    for sub in specs:
+        digest = sub.spec_hash()
+        start = time.perf_counter()
+        queue.enqueue(sub.to_dict(), digest)
+        task = queue.claim()
+        queue.heartbeat(task)
+        store.put(sub, canned)
+        queue.complete(task)
+        timings.append(time.perf_counter() - start)
+        assert task.digest == digest
+    return timings
+
+
+def time_queued(specs: list, root: Path) -> list:
+    """Worker-loop cost per task: claim + lease + real execute + record."""
+    store = ResultStore(root / "store")
+    queue = TaskQueue.create(root / "q", store.directory, lease_seconds=30.0)
+    for sub in specs:
+        queue.enqueue(sub.to_dict(), sub.spec_hash())
+    timings = []
+    for _ in specs:
+        start = time.perf_counter()
+        task = queue.claim()
+        state, error, _lost = execute_task(queue, store, task)
+        timings.append(time.perf_counter() - start)
+        assert state == "done", error
+    return timings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=16)
+    parser.add_argument(
+        "--assert-overhead-ms",
+        type=float,
+        default=None,
+        metavar="CEIL",
+        help="fail if the median queue-machinery cost per task exceeds "
+        "CEIL milliseconds (nightly uses 100)",
+    )
+    parser.add_argument("--json", dest="json_path", default=None, metavar="FILE")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.tasks < 2:
+        print("error: --tasks must be >= 2", file=sys.stderr)
+        return 2
+    specs = bench_specs(args.tasks)
+    root = Path(tempfile.mkdtemp(prefix="queue-bench-"))
+    try:
+        execute_s = time_execute(specs)
+        machinery_root, queued_root = root / "machinery", root / "queued"
+        machinery_root.mkdir(), queued_root.mkdir()
+        machinery_s = time_machinery(specs, machinery_root)
+        queued_s = time_queued(specs, queued_root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    def ms(timings):
+        return {
+            "median": 1e3 * statistics.median(timings),
+            "mean": 1e3 * statistics.fmean(timings),
+            "max": 1e3 * max(timings),
+        }
+
+    report = {
+        "tasks": args.tasks,
+        "execute_ms": ms(execute_s),
+        "machinery_ms": ms(machinery_s),
+        "queued_ms": ms(queued_s),
+        "overhead_ratio": statistics.median(machinery_s)
+        / statistics.median(execute_s),
+    }
+    print(json.dumps(report, indent=2))
+    if args.json_path:
+        Path(args.json_path).write_text(json.dumps(report, indent=2) + "\n")
+    if (
+        args.assert_overhead_ms is not None
+        and report["machinery_ms"]["median"] > args.assert_overhead_ms
+    ):
+        print(
+            f"error: queue machinery median {report['machinery_ms']['median']:.1f} ms "
+            f"per task exceeds the {args.assert_overhead_ms:.0f} ms ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,14 @@ from repro.api import components as _components  # populate the registries
 from repro.api.results import EvaluationResult, LearningCurve, ScenarioResult, merge_results
 from repro.api.runner import run
 from repro.api.store import ResultStore
-from repro.api.sweep import SweepPointResult, SweepResult, decompose, expand_grid, sweep
+from repro.api.sweep import (
+    SweepExecutionError,
+    SweepPointResult,
+    SweepResult,
+    decompose,
+    expand_grid,
+    sweep,
+)
 from repro.api.presets import (
     SCENARIOS,
     get_scenario,
@@ -106,6 +113,7 @@ __all__ = [
     "sweep",
     "decompose",
     "expand_grid",
+    "SweepExecutionError",
     "SweepPointResult",
     "SweepResult",
     "ResultStore",

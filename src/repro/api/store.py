@@ -76,7 +76,10 @@ class ResultStore:
         return atomic_write_text(self.path_for(digest), payload)
 
     def __contains__(self, spec: ScenarioSpec) -> bool:
-        return self.path_for(spec).is_file()
+        # Membership must agree with readability: a truncated, corrupt or
+        # wrong-format entry reads as a miss in get(), so it is not "in"
+        # the store either (a bare is_file() check would disagree).
+        return self.get(spec) is not None
 
     def hashes(self) -> list[str]:
         """Every stored spec hash, sorted."""

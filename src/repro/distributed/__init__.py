@@ -1,0 +1,37 @@
+"""``repro.distributed`` — multi-host sweep execution over a shared filesystem.
+
+The package turns :func:`repro.api.sweep` from a single-machine
+``ProcessPoolExecutor`` fan-out into a coordination protocol any number of
+hosts can join, using nothing but a directory both sides can see (local
+disk, NFS, a cluster scratch mount):
+
+* :class:`~repro.distributed.queue.TaskQueue` is the on-disk protocol —
+  spec-hash task files claimed via atomic-rename leases with heartbeat
+  renewal, expiry stealing, retry-with-backoff and a poisoned terminal
+  state;
+* :mod:`~repro.distributed.worker` is the claim → execute → record loop
+  behind ``python -m repro.experiments.runner worker <queue-dir>``;
+* :mod:`~repro.distributed.coordinator` enumerates a sweep's pending
+  jobs into the queue, tracks landed results, maintains
+  ``progress.json`` and re-enqueues lost tasks.
+
+Workers execute through the exact same serialised-spec ``_execute`` path
+as the local pool and persist through the same content-addressed
+:class:`~repro.api.store.ResultStore`, so a distributed sweep is
+bit-identical to ``sweep(spec, workers=1)`` by construction — even a task
+executed twice (a stolen lease whose original worker was merely slow)
+writes byte-identical store entries.
+"""
+
+from repro.distributed.queue import QueueError, Task, TaskQueue
+from repro.distributed.worker import WorkerStats, run_worker
+from repro.distributed.coordinator import run_queue_sweep
+
+__all__ = [
+    "QueueError",
+    "Task",
+    "TaskQueue",
+    "WorkerStats",
+    "run_worker",
+    "run_queue_sweep",
+]

@@ -1,0 +1,178 @@
+"""The distributed sweep worker: claim → heartbeat → execute → record.
+
+A worker is any process (any host sharing the queue's filesystem) running
+:func:`run_worker` — usually via ``python -m repro.experiments.runner
+worker <queue-dir>``.  Each claimed task executes through
+:func:`repro.api.sweep._execute`, the *same* serialised-spec entry point
+the local ``ProcessPoolExecutor`` path uses, and persists through
+:meth:`repro.api.store.ResultStore.put` — so where a task ran can never
+change what it produced, and the merged sweep stays bit-identical to
+``run(spec)``.
+
+While a task executes, a daemon thread renews its lease every
+``lease_seconds / 3``.  If renewal discovers the lease was stolen (this
+worker was presumed dead), execution still finishes and records — the
+store write is idempotent — but the worker stops renewing and lets the
+stealer own the task's lifecycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.api.results import ScenarioResult
+from repro.api.spec import ScenarioSpec
+from repro.api.store import ResultStore
+from repro.api.sweep import _execute
+from repro.distributed.queue import Task, TaskQueue
+
+
+@dataclass
+class WorkerStats:
+    """What one worker run did, for logs and tests."""
+
+    worker_id: str = ""
+    executed: int = 0
+    failed: int = 0
+    poisoned: int = 0
+    recovered: int = 0
+    lease_lost: int = 0
+    digests: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"worker {self.worker_id} done: {self.executed} executed, "
+            f"{self.failed} failed ({self.poisoned} poisoned), "
+            f"{self.recovered} leases recovered, {self.lease_lost} leases lost"
+        )
+
+
+def _heartbeat_loop(queue: TaskQueue, task: Task, stop: threading.Event, lost: threading.Event):
+    interval = max(queue.lease_seconds / 3.0, 0.05)
+    while not stop.wait(interval):
+        if queue.heartbeat(task) is None:
+            lost.set()
+            return
+
+
+def execute_task(
+    queue: TaskQueue,
+    store: ResultStore,
+    task: Task,
+    *,
+    echo: bool = False,
+) -> tuple:
+    """Run one claimed task under a heartbeat; ``(state, error, lease_lost)``.
+
+    ``state`` is ``"done"``, ``"pending"`` (failed, requeued with backoff)
+    or ``"failed"`` (poisoned).  Exposed separately from the polling loop
+    so tests drive single lifecycle steps deterministically.
+    """
+    stop, lost = threading.Event(), threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop, args=(queue, task, stop, lost), daemon=True
+    )
+    beat.start()
+    started = time.time()
+    try:
+        result_dict = _execute(task.spec, echo)
+    except Exception as exc:  # noqa: BLE001 - every task failure must requeue
+        error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}"
+        return queue.release(task, error), error, lost.is_set()
+    finally:
+        stop.set()
+        beat.join()
+    store.put(ScenarioSpec.from_dict(task.spec), ScenarioResult.from_dict(result_dict))
+    queue.complete(task, duration=time.time() - started)
+    return "done", None, lost.is_set()
+
+
+def run_worker(
+    directory: Union[str, Path],
+    *,
+    store: Union[ResultStore, str, Path, None] = None,
+    worker_id: Optional[str] = None,
+    lease_seconds: Optional[float] = None,
+    poll_interval: float = 0.5,
+    max_tasks: Optional[int] = None,
+    drain: bool = False,
+    idle_exit: Optional[float] = None,
+    wait_for_queue: float = 0.0,
+    echo: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> WorkerStats:
+    """Drain tasks from a queue directory until told (or entitled) to stop.
+
+    Parameters
+    ----------
+    store:
+        Result store override; by default the store recorded in the
+        queue's ``queue.json`` (so ``runner worker <dir>`` needs no other
+        arguments).
+    drain:
+        Exit once the queue is sealed and nothing is pending or active —
+        the "finish the sweep and go home" mode used by CI and by the
+        coordinator's locally spawned workers.
+    idle_exit:
+        Exit after this many seconds without claiming anything (safety
+        valve for unsealed queues).
+    wait_for_queue:
+        Seconds to wait for ``queue.json`` to appear, covering workers
+        launched before the coordinator.
+    max_tasks:
+        Execute at most this many tasks (used by benchmarks/tests).
+    """
+    queue = TaskQueue.open(
+        directory,
+        worker_id=worker_id,
+        lease_seconds=lease_seconds,
+        wait=wait_for_queue,
+        poll_interval=poll_interval,
+    )
+    if store is None:
+        store = queue.store_directory
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    stats = WorkerStats(worker_id=queue.worker_id)
+    emit = log or (print if echo else (lambda _line: None))
+
+    last_claim = time.time()
+    while True:
+        if max_tasks is not None and stats.executed + stats.failed >= max_tasks:
+            break
+        task = queue.claim()
+        if task is None:
+            if drain and queue.drained():
+                break
+            if idle_exit is not None and time.time() - last_claim > idle_exit:
+                break
+            time.sleep(poll_interval)
+            continue
+        last_claim = time.time()
+        if task.attempts:
+            stats.recovered += 1
+        emit(f"worker {queue.worker_id} claimed {task.digest[:12]} (attempt {task.attempts + 1})")
+        state, error, lease_lost = execute_task(queue, store, task, echo=echo)
+        stats.digests.append(task.digest)
+        if lease_lost:
+            stats.lease_lost += 1
+        if state == "done":
+            stats.executed += 1
+            emit(f"worker {queue.worker_id} completed {task.digest[:12]}")
+        else:
+            stats.failed += 1
+            if state == "failed":
+                stats.poisoned += 1
+            emit(
+                f"worker {queue.worker_id} task {task.digest[:12]} -> {state}: "
+                f"{(error or '').splitlines()[0]}"
+            )
+    return stats
+
+
+__all__ = ["WorkerStats", "execute_task", "run_worker"]

@@ -216,6 +216,18 @@ class TestResultStore:
         store.path_for(spec).write_text("{truncated")
         assert store.get(spec) is None
 
+    def test_membership_agrees_with_readability(self, tmp_path):
+        # Regression: __contains__ used to report any existing file as a
+        # hit while get() treated a truncated entry as a miss.
+        spec = strategies_spec(seeds=(0,))
+        store = ResultStore(tmp_path)
+        store.put(spec, api.run(spec))
+        assert spec in store
+        store.path_for(spec).write_text("{truncated")
+        assert spec not in store
+        store.path_for(spec).write_text(json.dumps({"format": 999, "result": {}}))
+        assert spec not in store
+
     def test_wrong_format_reads_as_miss(self, tmp_path):
         spec = strategies_spec(seeds=(0,))
         store = ResultStore(tmp_path)
@@ -263,6 +275,49 @@ class TestResultStore:
         fanned = sweep(strategies_spec(seeds=(0,)), store=tmp_path / "sub" / "dir")
         assert fanned.executions == 1
         assert len(ResultStore(tmp_path / "sub" / "dir")) == 1
+
+
+class TestSweepFailureHandling:
+    """A failed sub-run must not discard its batch-mates or the drain."""
+
+    def _mixed_grid(self):
+        # One good point, one that validates eagerly but fails at run time
+        # (the topology builder rejects the unknown keyword).
+        return {"topology.params": [{}, {"bogus": 1}]}
+
+    def _bad_digest(self, spec):
+        return spec.with_updates({"topology.params": {"bogus": 1}}).spec_hash()
+
+    def test_in_process_failure_persists_completed_jobs(self, tmp_path):
+        spec = strategies_spec(seeds=(0,))
+        store = ResultStore(tmp_path)
+        with pytest.raises(api.SweepExecutionError) as excinfo:
+            sweep(spec, grid=self._mixed_grid(), store=store)
+        assert self._bad_digest(spec) in excinfo.value.failures
+        assert self._bad_digest(spec) in str(excinfo.value)
+        # The good point landed despite the failure: a re-run resumes it.
+        resumed = sweep(spec, store=store)
+        assert resumed.executions == 0 and resumed.cached_jobs == 1
+
+    def test_pool_failure_keeps_batch_mates(self, tmp_path):
+        # Regression: a raised future.result() aborted the drain loop
+        # mid-wait, discarding already-completed futures in the same batch.
+        spec = strategies_spec(seeds=(0,))
+        store = ResultStore(tmp_path)
+        with pytest.raises(api.SweepExecutionError) as excinfo:
+            sweep(spec, grid=self._mixed_grid(), store=store, workers=2)
+        assert list(excinfo.value.failures) == [self._bad_digest(spec)]
+        resumed = sweep(spec, store=store)
+        assert resumed.executions == 0 and resumed.cached_jobs == 1
+
+    def test_cli_reports_partial_failure_as_exit_1(self, tmp_path, capsys):
+        target = tmp_path / "scenario.json"
+        target.write_text(strategies_spec(seeds=(0,)).to_json())
+        assert main([
+            "sweep", str(target), "--set", "topology.params.bogus=1",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "sweep job(s) failed" in err
 
 
 class TestSweepCLI:

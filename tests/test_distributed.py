@@ -1,0 +1,349 @@
+"""Tests for the distributed sweep subsystem (`repro.distributed`).
+
+The load-bearing guarantees: the lease lifecycle (claim → heartbeat →
+expiry → steal) is exactly-once per transition under races, a sweep
+drained by queue workers — including after a worker dies mid-task — is
+bit-identical to ``run(spec)``, and per-task failures end in a poisoned
+terminal state plus one ``SweepExecutionError``, never an aborted drain.
+
+Lease-clock tests inject ``now`` explicitly, so nothing here sleeps its
+way to an expiry.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import api
+from repro.api.store import ResultStore
+from repro.api.sweep import SweepExecutionError, decompose, sweep
+from repro.distributed.queue import QueueError, TaskQueue
+from repro.distributed.worker import run_worker
+from repro.experiments.runner import main
+from tests.test_api_sweep import assert_results_equal, strategies_spec
+
+
+def sub_spec(seed=0, **kwargs):
+    """A cheap, training-free single-seed sub-spec (the queue's payload)."""
+    return decompose(strategies_spec(seeds=(seed,), **kwargs))[0][1]
+
+
+def failing_spec(seed=0):
+    """Validates eagerly but fails at run time (builder rejects the param)."""
+    return sub_spec(seed).with_updates({"topology.params.bogus": 1})
+
+
+def make_queue(tmp_path, **kwargs) -> TaskQueue:
+    kwargs.setdefault("lease_seconds", 5.0)
+    kwargs.setdefault("backoff_seconds", 1.0)
+    return TaskQueue.create(tmp_path / "q", tmp_path / "store", **kwargs)
+
+
+def enqueue(queue: TaskQueue, spec, *, now=1000.0) -> str:
+    digest = spec.spec_hash()
+    assert queue.enqueue(spec.to_dict(), digest, now=now)
+    return digest
+
+
+class TestTaskQueueLifecycle:
+    def test_create_open_round_trip(self, tmp_path):
+        queue = make_queue(tmp_path, lease_seconds=7.0, max_attempts=5)
+        reopened = TaskQueue.open(tmp_path / "q", worker_id="w2")
+        assert reopened.lease_seconds == 7.0
+        assert reopened.max_attempts == 5
+        assert reopened.store_directory == (tmp_path / "store").resolve()
+        assert reopened.worker_id == "w2"
+        assert queue.counts() == {"pending": 0, "active": 0, "done": 0, "failed": 0}
+
+    def test_open_missing_queue_raises(self, tmp_path):
+        with pytest.raises(QueueError, match="not an initialised task queue"):
+            TaskQueue.open(tmp_path / "nope")
+
+    def test_rebinding_to_another_store_refused(self, tmp_path):
+        make_queue(tmp_path)
+        with pytest.raises(QueueError, match="bound to store"):
+            TaskQueue.create(tmp_path / "q", tmp_path / "other-store")
+
+    def test_enqueue_deduplicates_every_state(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = sub_spec()
+        digest = enqueue(queue, spec)
+        assert queue.state_of(digest) == "pending"
+        assert not queue.enqueue(spec.to_dict(), digest)  # already pending
+        task = queue.claim(now=1000.0)
+        assert not queue.enqueue(spec.to_dict(), digest)  # active
+        queue.complete(task, now=1001.0)
+        assert queue.state_of(digest) == "done"
+        assert not queue.enqueue(spec.to_dict(), digest)  # done is terminal
+
+    def test_claim_heartbeat_extends_lease(self, tmp_path):
+        queue = make_queue(tmp_path, lease_seconds=5.0, worker_id="w1")
+        digest = enqueue(queue, sub_spec())
+        task = queue.claim(now=1000.0)
+        assert task.digest == digest and task.attempts == 0
+        assert task.expires == 1005.0
+        renewed = queue.heartbeat(task, now=1004.0)
+        assert renewed.expires == 1009.0
+        # A renewed lease survives the original deadline.
+        assert queue.recover(now=1006.0) == []
+        assert queue.state_of(digest) == "active"
+
+    def test_expired_lease_is_stolen_with_attempt_bump(self, tmp_path):
+        queue = make_queue(tmp_path, lease_seconds=5.0, worker_id="w1")
+        digest = enqueue(queue, sub_spec())
+        queue.claim(now=1000.0)
+        thief = TaskQueue.open(tmp_path / "q", worker_id="w2")
+        assert thief.recover(now=1004.0) == []  # not expired yet
+        assert thief.recover(now=1005.5) == [digest]
+        assert thief.state_of(digest) == "pending"
+        stolen = thief.claim(now=1006.0)
+        assert stolen.digest == digest
+        assert stolen.attempts == 1  # the crashed attempt is counted
+
+    def test_heartbeat_after_steal_reports_lost_lease(self, tmp_path):
+        queue = make_queue(tmp_path, lease_seconds=5.0, worker_id="w1")
+        enqueue(queue, sub_spec())
+        task = queue.claim(now=1000.0)
+        thief = TaskQueue.open(tmp_path / "q", worker_id="w2")
+        thief.recover(now=1010.0)
+        stolen = thief.claim(now=1010.0)
+        assert queue.heartbeat(task, now=1011.0) is None
+        # The original holder's complete() must not unlink the thief's lease.
+        queue.complete(task, now=1012.0)
+        assert thief.heartbeat(stolen, now=1012.0) is not None
+
+    def test_two_workers_racing_one_task_exactly_one_wins(self, tmp_path):
+        queue_a = make_queue(tmp_path, worker_id="a")
+        queue_b = TaskQueue.open(tmp_path / "q", worker_id="b")
+        enqueue(queue_a, sub_spec())
+        barrier = threading.Barrier(2)
+        wins = []
+
+        def race(queue):
+            barrier.wait()
+            wins.append(queue.claim(now=1000.0))
+
+        threads = [threading.Thread(target=race, args=(q,)) for q in (queue_a, queue_b)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        claimed = [task for task in wins if task is not None]
+        assert len(claimed) == 1  # atomic rename: exactly one winner
+
+    def test_release_backs_off_then_poisons(self, tmp_path):
+        queue = make_queue(tmp_path, max_attempts=2, backoff_seconds=4.0)
+        digest = enqueue(queue, sub_spec())
+        task = queue.claim(now=1000.0)
+        assert queue.release(task, "boom", now=1001.0) == "pending"
+        assert queue.claim(now=1002.0) is None  # still backing off
+        retry = queue.claim(now=1006.0)
+        assert retry.attempts == 1
+        assert queue.release(retry, "boom again", now=1007.0) == "failed"
+        assert queue.state_of(digest) == "failed"
+        failure = queue.failure(digest)
+        assert failure["attempts"] == 2
+        assert "boom again" in failure["error"]
+
+    def test_repeated_expiry_poisons_a_worker_killer(self, tmp_path):
+        queue = make_queue(tmp_path, lease_seconds=5.0, max_attempts=2)
+        digest = enqueue(queue, sub_spec())
+        queue.claim(now=1000.0)
+        queue.recover(now=1010.0)  # attempt 1 crashed
+        queue.claim(now=1010.0)
+        queue.recover(now=1020.0)  # attempt 2 crashed -> poisoned
+        assert queue.state_of(digest) == "failed"
+        assert "lease expired" in queue.failure(digest)["error"]
+
+    def test_drained_requires_seal_and_empty_states(self, tmp_path):
+        queue = make_queue(tmp_path)
+        digest = enqueue(queue, sub_spec())
+        assert not queue.drained()  # unsealed
+        queue.seal([digest])
+        assert not queue.drained()  # still pending
+        task = queue.claim(now=1000.0)
+        assert not queue.drained()  # active
+        queue.complete(task, now=1001.0)
+        assert queue.drained()
+        assert queue.expected() == [digest]
+
+    def test_corrupt_pending_entry_is_dropped_not_claimed(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = sub_spec()
+        digest = enqueue(queue, spec)
+        from repro.utils.caching import sharded_entry_path
+
+        sharded_entry_path(tmp_path / "q" / "pending", digest).write_text("{nope")
+        assert queue.claim(now=1000.0) is None
+        # The digest reads as lost, so a coordinator re-enqueues it fresh.
+        assert queue.state_of(digest) is None
+        assert queue.enqueue(spec.to_dict(), digest)
+
+
+class TestWorkerLoop:
+    def test_worker_drains_queue_and_records_to_store(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = sub_spec()
+        digest = enqueue(queue, spec)
+        queue.seal([digest])
+        stats = run_worker(tmp_path / "q", drain=True, poll_interval=0.05)
+        assert stats.executed == 1 and stats.failed == 0
+        assert queue.state_of(digest) == "done"
+        stored = ResultStore(tmp_path / "store").get(spec)
+        assert_results_equal(stored, api.run(spec))
+
+    def test_failing_task_retries_then_poisons(self, tmp_path):
+        queue = make_queue(tmp_path, max_attempts=2, backoff_seconds=0.0)
+        digest = enqueue(queue, failing_spec())
+        queue.seal([digest])
+        stats = run_worker(tmp_path / "q", drain=True, poll_interval=0.05)
+        assert stats.executed == 0
+        assert stats.failed == 2 and stats.poisoned == 1
+        assert queue.state_of(digest) == "failed"
+        assert "bogus" in queue.failure(digest)["error"]
+
+    def test_worker_cli_drains_a_sealed_queue(self, tmp_path, capsys):
+        queue = make_queue(tmp_path)
+        spec = sub_spec()
+        digest = enqueue(queue, spec)
+        queue.seal([digest])
+        assert main(["worker", str(tmp_path / "q"), "--drain", "--poll", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out
+        assert queue.state_of(digest) == "done"
+        assert spec in ResultStore(tmp_path / "store")
+
+
+class TestQueueSweep:
+    QUEUE_OPTIONS = {"poll_interval": 0.1, "timeout": 240}
+
+    def test_validation_of_executor_arguments(self, tmp_path):
+        spec = strategies_spec(seeds=(0,))
+        with pytest.raises(api.SpecValidationError, match="executor"):
+            sweep(spec, executor="cloud")
+        with pytest.raises(api.SpecValidationError, match="queue directory"):
+            sweep(spec, executor="queue", store=tmp_path / "s")
+        with pytest.raises(api.SpecValidationError, match="result store"):
+            sweep(spec, executor="queue", queue=tmp_path / "q")
+        with pytest.raises(api.SpecValidationError, match="executor is 'local'"):
+            sweep(spec, queue=tmp_path / "q")
+        with pytest.raises(api.SpecValidationError, match="workers"):
+            sweep(spec, executor="queue", queue=tmp_path / "q",
+                  store=tmp_path / "s", workers=-1)
+
+    def test_two_local_workers_match_run_and_resume_cached(self, tmp_path):
+        """The acceptance criterion: >=2 concurrent workers, bit-identical."""
+        spec = strategies_spec(seeds=(0, 1, 2))
+        direct = api.run(spec)
+        fanned = sweep(
+            spec,
+            executor="queue",
+            queue=tmp_path / "q",
+            store=tmp_path / "store",
+            workers=2,
+            queue_options=self.QUEUE_OPTIONS,
+        )
+        assert fanned.executions == 3
+        assert_results_equal(fanned.result, direct)
+        # Distributed results resume exactly like local ones: a local sweep
+        # against the same store re-executes nothing.
+        resumed = sweep(spec, store=tmp_path / "store")
+        assert resumed.executions == 0 and resumed.cached_jobs == 3
+        assert_results_equal(resumed.result, direct)
+
+    def test_killed_worker_mid_task_is_stolen_and_result_bit_identical(self, tmp_path):
+        """A dead worker's lease expires, another steals, the sweep lands."""
+        spec = strategies_spec(seeds=(0, 1))
+        store = ResultStore(tmp_path / "store")
+        # "Kill a worker mid-task": claim a lease, then never heartbeat.
+        crashed = TaskQueue.create(
+            tmp_path / "q", store.directory,
+            lease_seconds=0.3, backoff_seconds=0.0, worker_id="crashed",
+        )
+        victim_digest = enqueue(crashed, decompose(spec)[0][1])
+        assert crashed.claim() is not None  # wall-clock lease, never renewed
+
+        outcome = {}
+
+        def coordinate():
+            try:
+                outcome["result"] = sweep(
+                    spec,
+                    executor="queue",
+                    queue=tmp_path / "q",
+                    store=store,
+                    workers=0,
+                    queue_options={**self.QUEUE_OPTIONS, "lease_seconds": 0.3,
+                                   "backoff_seconds": 0.0},
+                )
+            except BaseException as exc:  # surfaced to the main thread
+                outcome["error"] = exc
+
+        coordinator = threading.Thread(target=coordinate)
+        coordinator.start()
+        stats = run_worker(
+            tmp_path / "q", worker_id="rescuer", drain=True, poll_interval=0.05
+        )
+        coordinator.join(timeout=120)
+        assert not coordinator.is_alive()
+        assert "error" not in outcome, outcome.get("error")
+        assert stats.executed == 2
+        assert stats.recovered >= 1  # the victim's task arrived via a steal
+        assert victim_digest in stats.digests
+        assert_results_equal(outcome["result"].result, api.run(spec))
+
+    def test_poisoned_task_raises_but_persists_completed_jobs(self, tmp_path):
+        spec = strategies_spec(seeds=(0,))
+        grid = {"topology.params": [{}, {"bogus": 1}]}
+        outcome = {}
+
+        def coordinate():
+            try:
+                outcome["result"] = sweep(
+                    spec,
+                    grid=grid,
+                    executor="queue",
+                    queue=tmp_path / "q",
+                    store=tmp_path / "store",
+                    workers=0,
+                    queue_options={**self.QUEUE_OPTIONS, "max_attempts": 1,
+                                   "backoff_seconds": 0.0},
+                )
+            except BaseException as exc:
+                outcome["error"] = exc
+
+        coordinator = threading.Thread(target=coordinate)
+        coordinator.start()
+        # The coordinator thread creates the queue; block until it exists.
+        run_worker(tmp_path / "q", drain=True, poll_interval=0.05, wait_for_queue=60)
+        coordinator.join(timeout=120)
+        assert not coordinator.is_alive()
+        error = outcome.get("error")
+        assert isinstance(error, SweepExecutionError)
+        bad_digest = spec.with_updates({"topology.params": {"bogus": 1}}).spec_hash()
+        assert bad_digest in error.failures
+        assert bad_digest in str(error)
+        # The good grid point landed and is served from the store on re-run.
+        good = sweep(spec, store=tmp_path / "store")
+        assert good.executions == 0 and good.cached_jobs == 1
+
+    def test_watch_events_stream_through_the_cli(self, tmp_path, capsys):
+        target = tmp_path / "scenario.json"
+        target.write_text(strategies_spec(seeds=(0,)).to_json())
+        assert main([
+            "sweep", str(target),
+            "--executor", "queue",
+            "--queue", str(tmp_path / "q"),
+            "--store", str(tmp_path / "store"),
+            "--workers", "1",
+            "--watch",
+        ]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()
+                  if line.startswith("{")]
+        kinds = [event["event"] for event in events]
+        assert "enqueued" in kinds and "task_done" in kinds and "drained" in kinds
+        done = next(e for e in events if e["event"] == "task_done")
+        assert done["hash"] == decompose(strategies_spec(seeds=(0,)))[0][1].spec_hash()
+        assert "1 total, 0 cached, 1 executed" in out  # summary still prints
