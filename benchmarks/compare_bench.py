@@ -19,6 +19,27 @@ within the current run: the scalar reference median divided by the batched
 engine median must stay ≥ ``--min-speedup`` (machine-independent by
 construction).
 
+The baseline may additionally carry a ``frozen`` section pinning
+*historical* normalized medians that no current run can reproduce (the
+implementation they measured is gone).  Each entry records the
+pre-refactor cost of a benchmark relative to the reference, and the
+minimum speedup today's implementation must keep over it::
+
+    "frozen": {
+      "pre_vectorisation_training_curve": {
+        "benchmark": "test_training_quick_curve",
+        "normalized_median": 123.4,
+        "min_speedup": 5.0,
+        "note": "sequential rollout loop at commit ..."
+      }
+    }
+
+Frozen entries are preserved verbatim by ``--update-baseline`` — they are
+measured once (old and new implementations timed back to back on one
+machine, both normalized by the same reference run) and only rewritten by
+hand.  They are skipped in ``--no-normalize`` mode: a frozen value is a
+normalized quantity by definition.
+
 A delta table prints to stdout, and — when ``$GITHUB_STEP_SUMMARY`` is set
 — as a markdown table into the CI job summary.
 
@@ -70,12 +91,27 @@ def load_medians(path: Path) -> dict[str, float]:
     raise SystemExit(f"error: {path} has no 'benchmarks' section")
 
 
+def load_frozen(path: Path) -> dict[str, dict]:
+    """The baseline's ``frozen`` section (empty when absent or unreadable)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    frozen = data.get("frozen")
+    return dict(frozen) if isinstance(frozen, dict) else {}
+
+
 def write_baseline(path: Path, medians: dict[str, float], normalize_by: str) -> None:
+    # Frozen floors survive the rewrite: they pin implementations that no
+    # longer exist, so no current run can ever re-measure them.
+    frozen = load_frozen(path) if path.exists() else {}
     payload = {
         "format": BASELINE_FORMAT,
         "normalize_by": normalize_by,
         "benchmarks": {name: medians[name] for name in sorted(medians)},
     }
+    if frozen:
+        payload["frozen"] = frozen
     path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
@@ -156,12 +192,47 @@ def check_speedup_floor(current: dict[str, float], min_speedup: float) -> tuple[
     return speedup, None
 
 
+def check_frozen_floors(
+    current: dict[str, float], frozen: dict[str, dict], normalize_by: str
+) -> tuple[list[tuple[str, str, float, float]], list[str]]:
+    """Speedups of the current run over the baseline's frozen floors.
+
+    Returns ``(rows, failures)`` where each row is ``(floor name, benchmark,
+    speedup, required minimum)``: the frozen normalized median divided by
+    the current run's normalized median for the named benchmark.
+    """
+    rows: list[tuple[str, str, float, float]] = []
+    failures: list[str] = []
+    reference = current.get(normalize_by)
+    for name in sorted(frozen):
+        entry = frozen[name]
+        bench = str(entry.get("benchmark", name))
+        floor = float(entry.get("min_speedup", 1.0))
+        median = current.get(bench)
+        if not reference or not median:
+            rows.append((name, bench, float("nan"), floor))
+            failures.append(
+                f"cannot check frozen floor {name!r}: benchmark {bench!r} or "
+                f"reference {normalize_by!r} missing from the current run"
+            )
+            continue
+        speedup = float(entry["normalized_median"]) / (median / reference)
+        rows.append((name, bench, speedup, floor))
+        if speedup < floor:
+            failures.append(
+                f"frozen floor {name!r} violated: only {speedup:.1f}x faster than "
+                f"the pinned pre-refactor implementation of {bench!r} "
+                f"(required {floor:.1f}x)"
+            )
+    return rows, failures
+
+
 def _cell(value: float, fmt: str, nan: str) -> str:
     """Format a table value, rendering NaN (new/missing rows) as ``nan``."""
     return nan if value != value else format(value, fmt)
 
 
-def render_text(rows, speedup, min_speedup, normalized: bool) -> str:
+def render_text(rows, speedup, min_speedup, normalized: bool, frozen_rows=()) -> str:
     unit = "median vs reference" if normalized else "median (s)"
     lines = [
         f"Benchmark regression gate ({unit}; delta > 0 means slower)",
@@ -178,10 +249,15 @@ def render_text(rows, speedup, min_speedup, normalized: bool) -> str:
         f"  engine speedup (scalar/batched, this run): {speedup:.1f}x "
         f"(floor {min_speedup:.1f}x)"
     )
+    for name, bench, ratio, floor in frozen_rows:
+        lines.append(
+            f"  frozen floor {name} ({bench}): {_cell(ratio, '.1f', '?')}x "
+            f"over the pinned implementation (floor {floor:.1f}x)"
+        )
     return "\n".join(lines)
 
 
-def render_markdown(rows, speedup, min_speedup, normalized: bool) -> str:
+def render_markdown(rows, speedup, min_speedup, normalized: bool, frozen_rows=()) -> str:
     unit = "median / reference" if normalized else "median (s)"
     lines = [
         "### Benchmark regression gate",
@@ -199,6 +275,11 @@ def render_markdown(rows, speedup, min_speedup, normalized: bool) -> str:
     lines.append(
         f"Engine speedup this run: **{speedup:.1f}x** (floor {min_speedup:.1f}x)"
     )
+    for name, bench, ratio, floor in frozen_rows:
+        lines.append(
+            f"- frozen floor `{name}` (`{bench}`): **{_cell(ratio, '.1f', '?')}x** "
+            f"over the pinned implementation (floor {floor:.1f}x)"
+        )
     return "\n".join(lines)
 
 
@@ -250,12 +331,23 @@ def main(argv=None) -> int:
     if floor_failure:
         failures.append(floor_failure)
 
-    print(render_text(rows, speedup, args.min_speedup, normalize_by is not None))
+    frozen_rows: list = []
+    if normalize_by is not None:
+        frozen = load_frozen(args.baseline)
+        if frozen:
+            frozen_rows, frozen_failures = check_frozen_floors(
+                current, frozen, normalize_by
+            )
+            failures.extend(frozen_failures)
+
+    print(render_text(rows, speedup, args.min_speedup, normalize_by is not None, frozen_rows))
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a") as handle:
             handle.write(
-                render_markdown(rows, speedup, args.min_speedup, normalize_by is not None)
+                render_markdown(
+                    rows, speedup, args.min_speedup, normalize_by is not None, frozen_rows
+                )
                 + "\n"
             )
 

@@ -30,6 +30,7 @@ from repro.envs.routing_env import RoutingEnv
 from repro.experiments.config import ExperimentScale
 from repro.graphs.network import Network
 from repro.rl.ppo import PPO, PPOConfig
+from repro.rl.vec_env import VecEnv
 from repro.traffic.sequences import train_test_sequences
 from repro.utils.logging import RunLogger
 
@@ -201,6 +202,22 @@ class _SeedRun:
             seed=seed,
         )
 
+    def _training_env(self, iterative: bool, seed: int):
+        """The env PPO trains on: bare env, or a lockstep ``VecEnv`` stack.
+
+        Slot 0 always receives ``seed`` itself so ``n_envs=1`` is the
+        sequential path, bit for bit; extra slots get seeds derived with a
+        large odd stride so no two slots (or training runs) collide.  All
+        slots share this run's :class:`RewardComputer`, so LP denominators
+        solved for one slot's traffic are cache hits for every other.
+        """
+        n_envs = self.spec.training.n_envs
+        if n_envs == 1:
+            return self._train_env(iterative, seed)
+        return VecEnv(
+            [self._train_env(iterative, seed + 1000003 * j) for j in range(n_envs)]
+        )
+
     def train_policies(self) -> dict[str, tuple[object, bool, LearningCurve]]:
         """Train every policy in spec order; returns label -> (policy, iterative, curve)."""
         if self.single and self.spec.routing.policies:
@@ -222,7 +239,7 @@ class _SeedRun:
             )
             train_seed = self.seed + 1 + i
             logger = RunLogger(echo=self.echo)
-            env = self._train_env(iterative, train_seed)
+            env = self._training_env(iterative, train_seed)
             PPO(policy, env, _ppo_config(self.scale, pspec.ppo), seed=train_seed, logger=logger)\
                 .learn(self.scale.total_timesteps)
             curve = LearningCurve(
@@ -288,7 +305,7 @@ class _SeedRun:
             )
             ppo = PPO(
                 policy,
-                self._train_env(iterative, self.seed),
+                self._training_env(iterative, self.seed),
                 _ppo_config(scale, pspec.ppo),
                 seed=self.seed,
             )

@@ -26,6 +26,71 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
 from repro.graphs.network import Network
+from repro.utils.caching import KeyedLRU
+
+
+class _GraphStructure:
+    """Weight-independent per-topology state for the batched translation.
+
+    Rebuilding scipy CSR matrices and the tail-vertex edge grouping on every
+    call dominates the softmin hot path on small graphs (PPO reward
+    computations call it once per environment step with fresh weights but an
+    unchanged topology).  Everything here depends only on the edge list, so
+    it is computed once per structural fingerprint and reused:
+
+    * ``indptr``/``indices`` — the canonical CSR pattern of the *transposed*
+      graph, plus ``perm`` mapping edge weights into its data slots.  The
+      canonical CSR form of a matrix is unique, so assembling from the
+      cached pattern yields bit-identical Dijkstra inputs to the previous
+      build-transpose-convert sequence.
+    * ``order``/``starts``/``seg_of_pos`` — edge ids grouped by tail vertex
+      for the segment reductions (stable order, matching the scalar
+      implementation's iteration order).
+
+    ``perm`` is ``None`` when the edge list carries parallel duplicate
+    edges (COO assembly would sum them); those graphs fall back to the
+    per-call construction.
+    """
+
+    __slots__ = ("indptr", "indices", "perm", "order", "starts", "seg_of_pos")
+
+    def __init__(self, network: Network):
+        n = network.num_nodes
+        e = network.num_edges
+        # Tag each edge with its id (1-based so an empty slot cannot alias
+        # edge 0), push through the COO->CSR conversion of the transposed
+        # graph, and read the slot permutation back out of ``data``.
+        template = csr_matrix(
+            (np.arange(1, e + 1, dtype=np.float64), (network.receivers, network.senders)),
+            shape=(n, n),
+        )
+        if template.nnz == e:
+            self.indptr = template.indptr
+            self.indices = template.indices
+            self.perm = template.data.astype(np.int64) - 1
+        else:  # parallel edges collapsed: cannot cache the pattern
+            self.indptr = self.indices = self.perm = None
+        self.order = np.argsort(network.senders, kind="stable")
+        sorted_senders = network.senders[self.order]
+        new_segment = np.r_[True, sorted_senders[1:] != sorted_senders[:-1]]
+        self.starts = np.flatnonzero(new_segment)
+        self.seg_of_pos = np.cumsum(new_segment) - 1
+
+
+#: Structures are tiny (a few index arrays) and keyed on the exact edge
+#: list, so a modest LRU covers every topology a process touches.
+_STRUCTURE_CACHE = KeyedLRU(max_entries=128)
+
+
+def _graph_structure(network: Network) -> _GraphStructure:
+    # Networks are immutable, so the structure is memoised on the instance;
+    # the LRU still shares one structure across equal re-built topologies.
+    structure = getattr(network, "_softmin_structure", None)
+    if structure is None:
+        key = (network.num_nodes, network.edges)
+        structure = _STRUCTURE_CACHE.lookup(key, lambda: _GraphStructure(network))
+        network._softmin_structure = structure
+    return structure
 
 
 def _edge_segments(network: Network) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -37,12 +102,8 @@ def _edge_segments(network: Network) -> tuple[np.ndarray, np.ndarray, np.ndarray
     segment's first position in the sorted layout, and ``seg_of_pos`` maps a
     sorted position back to its segment index.
     """
-    order = np.argsort(network.senders, kind="stable")
-    sorted_senders = network.senders[order]
-    new_segment = np.r_[True, sorted_senders[1:] != sorted_senders[:-1]]
-    starts = np.flatnonzero(new_segment)
-    seg_of_pos = np.cumsum(new_segment) - 1
-    return order, starts, seg_of_pos
+    structure = _graph_structure(network)
+    return structure.order, structure.starts, structure.seg_of_pos
 
 
 def batch_distances_to_targets(network: Network, weights: np.ndarray) -> np.ndarray:
@@ -52,12 +113,23 @@ def batch_distances_to_targets(network: Network, weights: np.ndarray) -> np.ndar
     Python-level Dijkstra runs.  Unreachable pairs are ``inf``.
     """
     weights = np.asarray(weights, dtype=np.float64)
-    graph = csr_matrix(
-        (weights, (network.senders, network.receivers)),
-        shape=(network.num_nodes, network.num_nodes),
-    )
-    # dist(v, t) in the original graph == dist(t, v) in the transposed graph.
-    return dijkstra(graph.transpose().tocsr(), directed=True)
+    n = network.num_nodes
+    structure = _graph_structure(network)
+    if structure.perm is not None:
+        # dist(v, t) in the original graph == dist(t, v) in the transposed
+        # graph, whose CSR pattern is cached; only the data slots change.
+        # Assemble without the csr_matrix constructor: its index validation
+        # re-checks the (already canonical, cached) pattern on every call
+        # and costs more than the Dijkstra run itself on small graphs.
+        transposed = csr_matrix.__new__(csr_matrix)
+        transposed.data = weights[structure.perm]
+        transposed.indices = structure.indices
+        transposed.indptr = structure.indptr
+        transposed._shape = (n, n)
+    else:
+        graph = csr_matrix((weights, (network.senders, network.receivers)), shape=(n, n))
+        transposed = graph.transpose().tocsr()
+    return dijkstra(transposed, directed=True)
 
 
 def _keep_mask(network: Network, distances: np.ndarray) -> np.ndarray:

@@ -153,13 +153,20 @@ def network_fingerprint(network: Network) -> bytes:
     Unlike ``hash(network)`` this cannot collide across distinct topologies
     (short of a SHA-256 collision), so it is safe as a cache key — two
     different networks hashing equal must still map to different LP optima.
+    Networks are immutable, so the digest is memoised on the instance (the
+    reward path hits this for every environment step).
     """
+    cached = getattr(network, "_lp_fingerprint", None)
+    if cached is not None:
+        return cached
     digest = hashlib.sha256()
     digest.update(int(network.num_nodes).to_bytes(8, "little"))
     digest.update(np.ascontiguousarray(network.senders).tobytes())
     digest.update(np.ascontiguousarray(network.receivers).tobytes())
     digest.update(np.ascontiguousarray(network.capacities).tobytes())
-    return digest.digest()
+    result = digest.digest()
+    network._lp_fingerprint = result
+    return result
 
 
 def demand_destinations(demand: np.ndarray) -> np.ndarray:

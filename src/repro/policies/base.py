@@ -66,6 +66,48 @@ class ActorCriticPolicy(Module):
         log_prob = self.distribution.log_prob_value(mean, action)
         return action, log_prob, value
 
+    def act_batch(
+        self,
+        observations: Sequence[Any],
+        rng: np.random.Generator,
+        deterministic: bool = False,
+    ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+        """Sample actions for a lockstep batch of observations (no gradients).
+
+        Returns ``(actions, log_probs, values)`` with one entry per
+        observation, actions sampled from the shared ``rng`` in slot order.
+        The default implementation falls back to per-observation
+        :meth:`act` calls (identical RNG stream); policies with batched
+        forward passes override it to run one forward for the whole batch.
+        """
+        actions: list[np.ndarray] = []
+        log_probs = np.empty(len(observations))
+        values = np.empty(len(observations))
+        for i, observation in enumerate(observations):
+            action, log_prob, value = self.act(observation, rng, deterministic)
+            actions.append(action)
+            log_probs[i] = log_prob
+            values[i] = value
+        return actions, log_probs, values
+
+    def _sample_batch(
+        self,
+        means: Sequence[np.ndarray],
+        rng: np.random.Generator,
+        deterministic: bool,
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Shared sampling/log-prob tail for batched ``act_batch`` overrides.
+
+        Draws per-slot actions from the shared ``rng`` in slot order (the
+        same consumption order as sequential :meth:`act` calls) and scores
+        them with the batched numpy log-prob.
+        """
+        if deterministic:
+            actions = [mean.copy() for mean in means]
+        else:
+            actions = [self.distribution.sample(mean, rng) for mean in means]
+        return actions, self.distribution.log_prob_values(list(means), actions)
+
     def evaluate(
         self, observations: Sequence[Any], actions: Sequence[np.ndarray]
     ) -> tuple[Tensor, Tensor, Tensor]:

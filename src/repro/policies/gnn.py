@@ -24,7 +24,7 @@ from repro.gnn.graphs_tuple import batch_graphs
 from repro.gnn.models import EncodeProcessDecode
 from repro.policies.base import ActorCriticPolicy
 from repro.rl.distributions import DiagonalGaussian
-from repro.tensor import Tensor
+from repro.tensor import Tensor, no_grad
 from repro.utils.seeding import SeedLike, rng_from_seed
 
 
@@ -100,6 +100,20 @@ class GNNPolicy(ActorCriticPolicy):
     def action_mean_and_value(self, observation) -> tuple[Tensor, Tensor]:
         means_flat, values, _ = self._forward_batch([observation])
         return means_flat, values.sum()
+
+    def act_batch(self, observations, rng, deterministic=False):
+        """One GraphsTuple forward for all lockstep observations.
+
+        For a batch of one this runs the identical ``_forward_batch([obs])``
+        call that :meth:`act` makes, so single-env rollouts are
+        bit-identical to the sequential path.
+        """
+        with no_grad():
+            means_flat, values, graph = self._forward_batch(observations)
+        counts = np.bincount(graph.edge_graph_ids, minlength=graph.num_graphs)
+        means = np.split(means_flat.numpy(), np.cumsum(counts)[:-1])
+        actions, log_probs = self._sample_batch(means, rng, deterministic)
+        return actions, log_probs, values.numpy().copy()
 
     def evaluate(self, observations, actions):
         """One GraphsTuple forward for the whole (mixed-topology) batch."""

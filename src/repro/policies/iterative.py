@@ -24,7 +24,7 @@ from repro.gnn.graphs_tuple import batch_graphs
 from repro.gnn.models import EncodeProcessDecode
 from repro.policies.base import ActorCriticPolicy
 from repro.rl.distributions import DiagonalGaussian
-from repro.tensor import Tensor
+from repro.tensor import Tensor, no_grad
 from repro.utils.seeding import SeedLike, rng_from_seed
 
 ACTION_DIM = 2  # (edge weight, softmin gamma)
@@ -97,6 +97,15 @@ class IterativeGNNPolicy(ActorCriticPolicy):
     def action_mean_and_value(self, observation) -> tuple[Tensor, Tensor]:
         means, values = self._forward_batch([observation])
         return means.reshape((-1,)), values.sum()
+
+    def act_batch(self, observations, rng, deterministic=False):
+        """One GraphsTuple forward for all lockstep observations."""
+        with no_grad():
+            means_t, values_t = self._forward_batch(observations)
+        means_np = means_t.numpy()
+        means = [means_np[i] for i in range(len(observations))]
+        actions, log_probs = self._sample_batch(means, rng, deterministic)
+        return actions, log_probs, values_t.numpy().copy()
 
     def evaluate(self, observations, actions):
         means, values = self._forward_batch(observations)

@@ -16,7 +16,7 @@ import numpy as np
 from repro.envs.observation import GraphObservation
 from repro.policies.base import ActorCriticPolicy
 from repro.rl.distributions import DiagonalGaussian
-from repro.tensor import Tensor
+from repro.tensor import Tensor, no_grad
 from repro.tensor.nn import MLP
 from repro.utils.seeding import SeedLike, rng_from_seed
 
@@ -76,6 +76,25 @@ class MLPPolicy(ActorCriticPolicy):
         mean = self.pi(x)
         value = self.vf(x).sum()  # (1,) -> scalar
         return mean, value
+
+    def act_batch(self, observations, rng, deterministic=False):
+        """One stacked forward for all lockstep observations.
+
+        A batch of one takes the per-observation path: BLAS may route the
+        1-row matrix product through a different kernel than the
+        vector-matrix product :meth:`act` performs, and single-env rollouts
+        must stay bit-identical to the sequential implementation.
+        """
+        if len(observations) == 1:
+            return super().act_batch(observations, rng, deterministic)
+        with no_grad():
+            x = Tensor(np.stack([self._flat(obs) for obs in observations]))
+            means_t = self.pi(x)  # (B, num_edges)
+            values_t = self.vf(x).reshape((-1,))  # (B,)
+        means_np = means_t.numpy()
+        means = [means_np[i] for i in range(len(observations))]
+        actions, log_probs = self._sample_batch(means, rng, deterministic)
+        return actions, log_probs, values_t.numpy().copy()
 
     def evaluate(self, observations, actions):
         """Batched evaluation: one forward pass over the stacked inputs."""

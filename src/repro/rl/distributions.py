@@ -53,12 +53,32 @@ class DiagonalGaussian:
         """Draw an action given the policy mean (no gradient)."""
         return mean + self.std_value() * rng.standard_normal(mean.shape)
 
-    def log_prob_value(self, mean: np.ndarray, action: np.ndarray) -> float:
-        """Log density of ``action`` (no gradient), summed over dimensions."""
+    def log_prob_values(
+        self, means: list[np.ndarray], actions: list[np.ndarray]
+    ) -> np.ndarray:
+        """Log densities for a batch of actions (no gradient).
+
+        The canonical numpy log-prob implementation: one entry per
+        ``(mean, action)`` pair, each summed over its own dimensions (action
+        lengths may differ across the batch).  The squared z-scores of each
+        sample are reduced with numpy's pairwise ``sum`` — the same
+        reduction order for a batch of one as for a member of a larger
+        batch, which keeps single-env rollouts bit-identical to batched
+        ones.
+        """
         std = self.std_value()
-        z = (np.asarray(action) - np.asarray(mean)) / std
-        dim = np.asarray(mean).size
-        return float(-0.5 * float((z**2).sum()) - dim * (np.log(std) + 0.5 * LOG_2PI))
+        log_norm = np.log(std) + 0.5 * LOG_2PI
+        sums = np.empty(len(means))
+        dims = np.empty(len(means))
+        for i, (mean, action) in enumerate(zip(means, actions)):
+            z = (np.asarray(action) - np.asarray(mean)) / std
+            sums[i] = float((z**2).sum())
+            dims[i] = np.asarray(mean).size
+        return -0.5 * sums - dims * log_norm
+
+    def log_prob_value(self, mean: np.ndarray, action: np.ndarray) -> float:
+        """Log density of one ``action``: the batch-of-one special case."""
+        return float(self.log_prob_values([mean], [action])[0])
 
     # ------------------------------------------------------------------
     # Tensor-side (training)
@@ -67,13 +87,16 @@ class DiagonalGaussian:
         return self.log_std.clip(self.min_log_std, self.max_log_std)
 
     def log_prob(self, mean: Tensor, action: np.ndarray) -> Tensor:
-        """Differentiable log density summed over action dimensions."""
-        action_t = Tensor(np.asarray(action, dtype=np.float64))
-        log_std = self.clamped_log_std()
-        inv_std = (-log_std).exp()
-        z = (action_t - mean) * inv_std
-        dim = float(np.asarray(action).size)
-        return (z * z).sum() * (-0.5) - (log_std + 0.5 * LOG_2PI) * dim
+        """Differentiable log density summed over action dimensions.
+
+        Thin wrapper over :meth:`log_prob_flat_batch` with a single segment
+        (the batched form is the only tensor-side implementation).
+        """
+        action = np.asarray(action, dtype=np.float64).reshape(-1)
+        out = self.log_prob_flat_batch(
+            mean, action, np.zeros(action.size, dtype=np.int64), 1
+        )
+        return out.reshape(())
 
     def entropy(self, dim: int) -> Tensor:
         """Differentiable entropy of a ``dim``-dimensional Gaussian."""

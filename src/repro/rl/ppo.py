@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.rl.buffer import RolloutBuffer
 from repro.rl.env import Env, EpisodeStats
+from repro.rl.vec_env import VecEnv, as_vec_env
 from repro.tensor import Tensor, maximum, minimum
 from repro.tensor.optim import Adam, clip_grad_norm
 from repro.utils.logging import RunLogger
@@ -83,7 +84,11 @@ class PPO:
     policy:
         Any :class:`repro.policies.base.ActorCriticPolicy`.
     env:
-        Environment following :class:`repro.rl.env.Env`.
+        Environment following :class:`repro.rl.env.Env`, or a
+        :class:`~repro.rl.vec_env.VecEnv` of lockstep environments.  A bare
+        environment is wrapped into a one-member ``VecEnv``; rollouts then
+        run one batched ``policy.act_batch`` per timestep across all
+        members.
     config:
         Hyperparameters; defaults are sensible for the GDDR experiments.
     seed:
@@ -98,45 +103,51 @@ class PPO:
     def __init__(
         self,
         policy,
-        env: Env,
+        env: Env | VecEnv,
         config: Optional[PPOConfig] = None,
         seed: SeedLike = None,
         logger: Optional[RunLogger] = None,
     ):
         self.policy = policy
         self.env = env
+        self.vec_env = as_vec_env(env)
         self.config = config or PPOConfig()
         self.rng = rng_from_seed(seed)
         self.logger = logger or RunLogger()
         self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
-        self.stats = EpisodeStats()
+        self.stats = EpisodeStats(self.vec_env.num_envs)
         self.num_timesteps = 0
-        self._last_observation = None
-        self._last_done = True
+        self._last_observations = None
 
     # ------------------------------------------------------------------
     # Rollout collection
     # ------------------------------------------------------------------
     def collect_rollout(self, buffer: RolloutBuffer) -> None:
-        """Fill ``buffer`` with ``n_steps`` transitions from the env."""
+        """Fill ``buffer`` with ``n_steps`` lockstep transitions per env.
+
+        Every timestep runs one batched forward over all environments'
+        current observations (the policies stack them into a single batch),
+        samples per-env actions from the shared action RNG in slot order,
+        and advances the :class:`VecEnv` once.
+        """
         buffer.reset()
-        if self._last_done or self._last_observation is None:
-            self._last_observation = self.env.reset()
-            self._last_done = False
+        if self._last_observations is None:
+            self._last_observations = self.vec_env.reset()
+        num_envs = self.vec_env.num_envs
         while not buffer.full:
-            observation = self._last_observation
-            action, log_prob, value = self.policy.act(observation, self.rng)
-            next_observation, reward, done, _ = self.env.step(action)
-            buffer.add(observation, action, float(reward), done, value, log_prob)
-            self.stats.record(float(reward), done)
-            self.num_timesteps += 1
-            if done:
-                next_observation = self.env.reset()
-            self._last_observation = next_observation
-            self._last_done = False  # buffer boundaries are not episode ends
-        # Bootstrap value for the state after the last stored transition.
-        _, _, last_value = self.policy.act(self._last_observation, self.rng, deterministic=True)
-        buffer.compute_returns_and_advantages(last_value, last_done=bool(buffer.dones[-1]))
+            observations = self._last_observations
+            actions, log_probs, values = self.policy.act_batch(observations, self.rng)
+            next_observations, rewards, dones, _ = self.vec_env.step(actions)
+            buffer.add_batch(observations, actions, rewards, dones, values, log_probs)
+            for i in range(num_envs):
+                self.stats.record(float(rewards[i]), bool(dones[i]), i)
+            self.num_timesteps += num_envs
+            self._last_observations = next_observations
+        # Bootstrap values for the states after the last stored transitions.
+        _, _, last_values = self.policy.act_batch(
+            self._last_observations, self.rng, deterministic=True
+        )
+        buffer.compute_returns_and_advantages(last_values, last_dones=buffer.dones[:, -1])
 
     # ------------------------------------------------------------------
     # Optimisation
@@ -214,7 +225,12 @@ class PPO:
         if total_timesteps < 1:
             raise ValueError("total_timesteps must be >= 1")
         cfg = self.config
-        buffer = RolloutBuffer(cfg.n_steps, gamma=cfg.gamma, gae_lambda=cfg.gae_lambda)
+        buffer = RolloutBuffer(
+            cfg.n_steps,
+            gamma=cfg.gamma,
+            gae_lambda=cfg.gae_lambda,
+            n_envs=self.vec_env.num_envs,
+        )
         start_timesteps = self.num_timesteps
         target = start_timesteps + total_timesteps
         while self.num_timesteps < target:

@@ -1,0 +1,112 @@
+"""Lockstep vectorised environments for batched PPO rollouts.
+
+:class:`VecEnv` steps ``n_envs`` independent environments in lockstep so the
+policy can run **one** batched forward per timestep instead of one forward
+per environment — the GNN policies stack all current observations into a
+single :class:`~repro.gnn.graphs_tuple.GraphsTuple` and amortise the whole
+per-call Python/autograd overhead across the batch.
+
+Semantics mirror the classic SubprocVecEnv/DummyVecEnv contract from
+stable-baselines (synchronously, in-process):
+
+* :meth:`VecEnv.reset` resets every member and returns the list of first
+  observations;
+* :meth:`VecEnv.step` applies one action per member and **auto-resets** any
+  environment that finished its episode, returning the *post-reset*
+  observation in its slot (the pre-reset terminal observation is available
+  under ``info["terminal_observation"]``).
+
+Auto-reset consumes each member's RNG in exactly the order the sequential
+PPO loop did (step, then reset-on-done, env by env), so a ``VecEnv`` of one
+environment reproduces the unbatched rollout stream bit-for-bit.
+
+Environments are stepped sequentially in slot order — the wins come from
+batching the *policy* forward and sharing reward caches, not from
+parallelising the (already cache-hot) environment dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.rl.env import Env
+
+
+class VecEnv:
+    """A fixed set of environments advancing in lockstep.
+
+    Parameters
+    ----------
+    envs:
+        The member environments.  They are stepped in the given order; slot
+        0 is the "primary" environment (seed-compatibility anchor for the
+        ``n_envs=1`` case).
+    """
+
+    def __init__(self, envs: Sequence[Env]):
+        envs = list(envs)
+        if not envs:
+            raise ValueError("VecEnv needs at least one environment")
+        self.envs = envs
+        self.num_envs = len(envs)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> list[Any]:
+        """Reset every member; returns one first observation per slot."""
+        return [env.reset() for env in self.envs]
+
+    def step(self, actions: Sequence[Any]) -> tuple[list[Any], np.ndarray, np.ndarray, list[dict]]:
+        """Advance every member one timestep.
+
+        Parameters
+        ----------
+        actions:
+            One action per environment, in slot order.
+
+        Returns
+        -------
+        ``(observations, rewards, dones, infos)`` where ``rewards`` is a
+        float64 ``(num_envs,)`` array, ``dones`` a bool array flagging
+        episodes that *ended on this step* (their slot already holds the
+        next episode's first observation), and ``infos`` the per-env info
+        dicts (with ``info["terminal_observation"]`` set on done slots).
+        """
+        if len(actions) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} actions, got {len(actions)}")
+        observations: list[Any] = []
+        rewards = np.zeros(self.num_envs)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        infos: list[dict] = []
+        for i, (env, action) in enumerate(zip(self.envs, actions)):
+            observation, reward, done, info = env.step(action)
+            if done:
+                info = dict(info)
+                info["terminal_observation"] = observation
+                observation = env.reset()
+            observations.append(observation)
+            rewards[i] = reward
+            dones[i] = done
+            infos.append(info)
+        return observations, rewards, dones, infos
+
+    # ------------------------------------------------------------------
+    def seed(self, seeds: Sequence[Any]) -> None:
+        """Re-seed every member (one seed per slot)."""
+        if len(seeds) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} seeds, got {len(seeds)}")
+        for env, seed in zip(self.envs, seeds):
+            env.seed(seed)
+
+    def close(self) -> None:
+        for env in self.envs:
+            env.close()
+
+    def __len__(self) -> int:
+        return self.num_envs
+
+
+def as_vec_env(env: Env | VecEnv) -> VecEnv:
+    """Wrap a bare :class:`Env` into a single-member :class:`VecEnv`."""
+    return env if isinstance(env, VecEnv) else VecEnv([env])

@@ -148,7 +148,7 @@ class Linear(Module):
         self.bias = Tensor(zeros((out_features,)), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
-        return (x @ self.weight) + self.bias
+        return ops.linear(x, self.weight, self.bias)
 
 
 class LayerNorm(Module):
@@ -161,11 +161,7 @@ class LayerNorm(Module):
         self.shift = Tensor(np.zeros((features,)), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        centred = x - mean
-        variance = (centred * centred).mean(axis=-1, keepdims=True)
-        normed = centred / (variance + self.epsilon).sqrt()
-        return normed * self.scale + self.shift
+        return ops.layer_norm(x, self.scale, self.shift, self.epsilon)
 
 
 class MLP(Module):
@@ -203,6 +199,10 @@ class MLP(Module):
         self.sizes = tuple(int(s) for s in sizes)
         self.activation = get_activation(activation)
         self.output_activation = get_activation(output_activation)
+        # Hidden layers with a fusable activation take the single-node
+        # linear+activation path (same arithmetic, smaller tape).
+        fused = {"relu": ops.linear_relu, "tanh": ops.linear_tanh}
+        self._fused_hidden = fused.get(activation)
         self.layers: list[Linear] = []
         for i, (fan_in, fan_out) in enumerate(zip(self.sizes[:-1], self.sizes[1:])):
             is_last = i == len(self.sizes) - 2
@@ -211,8 +211,12 @@ class MLP(Module):
         self.norm: Optional[LayerNorm] = LayerNorm(self.sizes[-1]) if layer_norm else None
 
     def forward(self, x: Tensor) -> Tensor:
-        for layer in self.layers[:-1]:
-            x = self.activation(layer(x))
+        if self._fused_hidden is not None:
+            for layer in self.layers[:-1]:
+                x = self._fused_hidden(x, layer.weight, layer.bias)
+        else:
+            for layer in self.layers[:-1]:
+                x = self.activation(layer(x))
         x = self.output_activation(self.layers[-1](x))
         if self.norm is not None:
             x = self.norm(x)

@@ -1,19 +1,25 @@
 """Differentiable operations for :class:`repro.tensor.Tensor`.
 
-Every op follows the same pattern: compute the forward result with numpy,
-then register a backward closure ``backward(grad, receive)`` that calls
-``receive(parent, parent_grad)`` for each input.  Broadcasting is undone with
-:func:`repro.tensor.tensor.unbroadcast` so the gradient always matches the
-parent's shape.
+Each function computes the forward result with numpy and — only when
+gradients are being recorded and at least one input requires them — attaches
+the matching :mod:`repro.tensor.operation` class to the output tensor.
+Under ``no_grad`` no operation object (and none of its cached masks) is
+built, so rollout-time forwards pay for the numpy math alone.
+
+Broadcasting is undone with :func:`repro.tensor.tensor.unbroadcast` inside
+the operation classes so the gradient always matches the parent's shape.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor, unbroadcast
+from repro.tensor import operation as _op
+from repro.tensor import tensor as _core
+from repro.tensor.tensor import Tensor
 
 # ---------------------------------------------------------------------------
 # Elementwise arithmetic
@@ -22,77 +28,55 @@ from repro.tensor.tensor import Tensor, unbroadcast
 
 def add(a: Tensor, b: Tensor) -> Tensor:
     out = a.data + b.data
-
-    def backward(grad, receive):
-        receive(a, unbroadcast(grad, a.data.shape))
-        receive(b, unbroadcast(grad, b.data.shape))
-
-    return Tensor.make(out, (a, b), backward)
+    if _core._GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.Add((a, b)))
+    return Tensor._constant(out)
 
 
 def sub(a: Tensor, b: Tensor) -> Tensor:
     out = a.data - b.data
-
-    def backward(grad, receive):
-        receive(a, unbroadcast(grad, a.data.shape))
-        receive(b, unbroadcast(-grad, b.data.shape))
-
-    return Tensor.make(out, (a, b), backward)
+    if _core._GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.Sub((a, b)))
+    return Tensor._constant(out)
 
 
 def mul(a: Tensor, b: Tensor) -> Tensor:
     out = a.data * b.data
-
-    def backward(grad, receive):
-        receive(a, unbroadcast(grad * b.data, a.data.shape))
-        receive(b, unbroadcast(grad * a.data, b.data.shape))
-
-    return Tensor.make(out, (a, b), backward)
+    if _core._GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.Mul((a, b)))
+    return Tensor._constant(out)
 
 
 def div(a: Tensor, b: Tensor) -> Tensor:
     out = a.data / b.data
-
-    def backward(grad, receive):
-        receive(a, unbroadcast(grad / b.data, a.data.shape))
-        receive(b, unbroadcast(-grad * a.data / (b.data**2), b.data.shape))
-
-    return Tensor.make(out, (a, b), backward)
+    if _core._GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.Div((a, b)))
+    return Tensor._constant(out)
 
 
 def power(a: Tensor, exponent: float) -> Tensor:
     out = a.data**exponent
-
-    def backward(grad, receive):
-        receive(a, grad * exponent * a.data ** (exponent - 1.0))
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.Power((a,), exponent))
+    return Tensor._constant(out)
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise maximum; at ties the gradient flows to the first operand."""
     a, b = Tensor.ensure(a), Tensor.ensure(b)
     out = np.maximum(a.data, b.data)
-    a_wins = a.data >= b.data
-
-    def backward(grad, receive):
-        receive(a, unbroadcast(grad * a_wins, a.data.shape))
-        receive(b, unbroadcast(grad * ~a_wins, b.data.shape))
-
-    return Tensor.make(out, (a, b), backward)
+    if _core._GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.MaximumMinimum((a, b), a.data >= b.data))
+    return Tensor._constant(out)
 
 
 def minimum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise minimum; at ties the gradient flows to the first operand."""
     a, b = Tensor.ensure(a), Tensor.ensure(b)
     out = np.minimum(a.data, b.data)
-    a_wins = a.data <= b.data
-
-    def backward(grad, receive):
-        receive(a, unbroadcast(grad * a_wins, a.data.shape))
-        receive(b, unbroadcast(grad * ~a_wins, b.data.shape))
-
-    return Tensor.make(out, (a, b), backward)
+    if _core._GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.MaximumMinimum((a, b), a.data <= b.data))
+    return Tensor._constant(out)
 
 
 def where(condition, a: Tensor, b: Tensor) -> Tensor:
@@ -100,33 +84,25 @@ def where(condition, a: Tensor, b: Tensor) -> Tensor:
     a, b = Tensor.ensure(a), Tensor.ensure(b)
     mask = np.asarray(condition, dtype=bool)
     out = np.where(mask, a.data, b.data)
-
-    def backward(grad, receive):
-        receive(a, unbroadcast(grad * mask, a.data.shape))
-        receive(b, unbroadcast(grad * ~mask, b.data.shape))
-
-    return Tensor.make(out, (a, b), backward)
+    if _core._GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.Where((a, b), mask))
+    return Tensor._constant(out)
 
 
 def clip(a: Tensor, low: float, high: float) -> Tensor:
     """Clamp values to ``[low, high]``; gradient is zero outside the range."""
     out = np.clip(a.data, low, high)
-    inside = (a.data >= low) & (a.data <= high)
-
-    def backward(grad, receive):
-        receive(a, grad * inside)
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        inside = (a.data >= low) & (a.data <= high)
+        return Tensor._from_op(out, _op.Clip((a,), inside))
+    return Tensor._constant(out)
 
 
 def absolute(a: Tensor) -> Tensor:
     out = np.abs(a.data)
-    sign = np.sign(a.data)
-
-    def backward(grad, receive):
-        receive(a, grad * sign)
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.Absolute((a,), np.sign(a.data)))
+    return Tensor._constant(out)
 
 
 # ---------------------------------------------------------------------------
@@ -136,57 +112,44 @@ def absolute(a: Tensor) -> Tensor:
 
 def exp(a: Tensor) -> Tensor:
     out = np.exp(a.data)
-
-    def backward(grad, receive):
-        receive(a, grad * out)
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.Exp((a,), out))
+    return Tensor._constant(out)
 
 
 def log(a: Tensor) -> Tensor:
     out = np.log(a.data)
-
-    def backward(grad, receive):
-        receive(a, grad / a.data)
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.Log((a,)))
+    return Tensor._constant(out)
 
 
 def sqrt(a: Tensor) -> Tensor:
     out = np.sqrt(a.data)
-
-    def backward(grad, receive):
-        receive(a, grad * 0.5 / out)
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.Sqrt((a,), out))
+    return Tensor._constant(out)
 
 
 def tanh(a: Tensor) -> Tensor:
     out = np.tanh(a.data)
-
-    def backward(grad, receive):
-        receive(a, grad * (1.0 - out**2))
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.Tanh((a,), out))
+    return Tensor._constant(out)
 
 
 def relu(a: Tensor) -> Tensor:
     out = np.maximum(a.data, 0.0)
-    positive = a.data > 0.0
-
-    def backward(grad, receive):
-        receive(a, grad * positive)
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.ReLU((a,), a.data > 0.0))
+    return Tensor._constant(out)
 
 
 def sigmoid(a: Tensor) -> Tensor:
     out = 1.0 / (1.0 + np.exp(-a.data))
-
-    def backward(grad, receive):
-        receive(a, grad * out * (1.0 - out))
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.Sigmoid((a,), out))
+    return Tensor._constant(out)
 
 
 # ---------------------------------------------------------------------------
@@ -197,84 +160,98 @@ def sigmoid(a: Tensor) -> Tensor:
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     """Matrix product supporting (m,k)@(k,n), (k,)@(k,n) and (m,k)@(k,)."""
     out = a.data @ b.data
+    if _core._GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.MatMul((a, b)))
+    return Tensor._constant(out)
 
-    def backward(grad, receive):
-        a_data, b_data = a.data, b.data
-        if a_data.ndim == 1 and b_data.ndim == 2:
-            receive(a, grad @ b_data.T)
-            receive(b, np.outer(a_data, grad))
-        elif a_data.ndim == 2 and b_data.ndim == 1:
-            receive(a, np.outer(grad, b_data))
-            receive(b, a_data.T @ grad)
-        elif a_data.ndim == 1 and b_data.ndim == 1:
-            receive(a, grad * b_data)
-            receive(b, grad * a_data)
-        else:
-            receive(a, grad @ np.swapaxes(b_data, -1, -2))
-            receive(b, np.swapaxes(a_data, -1, -2) @ grad)
 
-    return Tensor.make(out, (a, b), backward)
+def linear(x: Tensor, w: Tensor, b: Tensor) -> Tensor:
+    """Fused affine map ``x @ w + b`` (see :class:`operation.Linear`)."""
+    out = x.data @ w.data + b.data
+    if _core._GRAD_ENABLED and (x.requires_grad or w.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.Linear((x, w, b)))
+    return Tensor._constant(out)
+
+
+def linear_relu(x: Tensor, w: Tensor, b: Tensor) -> Tensor:
+    """Fused ``relu(x @ w + b)`` (see :class:`operation.LinearReLU`)."""
+    pre = x.data @ w.data + b.data
+    out = np.maximum(pre, 0.0)
+    if _core._GRAD_ENABLED and (x.requires_grad or w.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.LinearReLU((x, w, b), pre > 0.0))
+    return Tensor._constant(out)
+
+
+def linear_tanh(x: Tensor, w: Tensor, b: Tensor) -> Tensor:
+    """Fused ``tanh(x @ w + b)`` (see :class:`operation.LinearTanh`)."""
+    out = np.tanh(x.data @ w.data + b.data)
+    if _core._GRAD_ENABLED and (x.requires_grad or w.requires_grad or b.requires_grad):
+        return Tensor._from_op(out, _op.LinearTanh((x, w, b), out))
+    return Tensor._constant(out)
+
+
+def layer_norm(x: Tensor, scale: Tensor, shift: Tensor, epsilon: float) -> Tensor:
+    """Fused last-axis layer normalisation (see :class:`operation.LayerNorm`).
+
+    The forward runs the identical numpy expression sequence as the unfused
+    ``(x - mean) / sqrt(var + eps) * scale + shift`` tensor chain, so outputs
+    are bit-identical; only the tape shrinks from eight nodes to one.
+    """
+    x_data = x.data
+    mean = x_data.mean(axis=-1, keepdims=True)
+    centred = x_data - mean
+    variance = (centred * centred).mean(axis=-1, keepdims=True)
+    std = np.sqrt(variance + epsilon)
+    normed = centred / std
+    out = normed * scale.data + shift.data
+    if _core._GRAD_ENABLED and (
+        x.requires_grad or scale.requires_grad or shift.requires_grad
+    ):
+        return Tensor._from_op(
+            out, _op.LayerNorm((x, scale, shift), centred, std, normed)
+        )
+    return Tensor._constant(out)
 
 
 def reshape(a: Tensor, shape: tuple) -> Tensor:
     out = a.data.reshape(shape)
-
-    def backward(grad, receive):
-        receive(a, grad.reshape(a.data.shape))
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.Reshape((a,)))
+    return Tensor._constant(out)
 
 
 def transpose(a: Tensor, axes: Optional[tuple] = None) -> Tensor:
     out = np.transpose(a.data, axes)
-    if axes is None:
-        inverse = None
-    else:
-        inverse = tuple(np.argsort(axes))
-
-    def backward(grad, receive):
-        receive(a, np.transpose(grad, inverse))
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        inverse = None if axes is None else tuple(np.argsort(axes))
+        return Tensor._from_op(out, _op.Transpose((a,), inverse))
+    return Tensor._constant(out)
 
 
 def getitem(a: Tensor, index) -> Tensor:
     """Basic and integer-array indexing with scatter-add backward."""
-    out = a.data[index]
-
-    def backward(grad, receive):
-        full = np.zeros_like(a.data)
-        np.add.at(full, index, grad)
-        receive(a, full)
-
-    return Tensor.make(np.array(out, copy=True), (a,), backward)
+    out = np.array(a.data[index], copy=True)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.GetItem((a,), index))
+    return Tensor._constant(out)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [Tensor.ensure(t) for t in tensors]
     out = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def backward(grad, receive):
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            slicer = [slice(None)] * grad.ndim
-            slicer[axis] = slice(start, stop)
-            receive(tensor, grad[tuple(slicer)])
-
-    return Tensor.make(out, tensors, backward)
+    if _core._GRAD_ENABLED and any(t.requires_grad for t in tensors):
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+        return Tensor._from_op(out, _op.Concatenate(tuple(tensors), axis, offsets))
+    return Tensor._constant(out)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [Tensor.ensure(t) for t in tensors]
     out = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(grad, receive):
-        slices = np.moveaxis(grad, axis, 0)
-        for tensor, piece in zip(tensors, slices):
-            receive(tensor, piece)
-
-    return Tensor.make(out, tensors, backward)
+    if _core._GRAD_ENABLED and any(t.requires_grad for t in tensors):
+        return Tensor._from_op(out, _op.Stack(tuple(tensors), axis))
+    return Tensor._constant(out)
 
 
 # ---------------------------------------------------------------------------
@@ -284,45 +261,32 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 def reduce_sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     out = a.data.sum(axis=axis, keepdims=keepdims)
-
-    def backward(grad, receive):
-        g = np.asarray(grad)
-        if axis is not None and not keepdims:
-            g = np.expand_dims(g, axis=axis)
-        receive(a, np.broadcast_to(g, a.data.shape).copy())
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.ReduceSum((a,), axis, keepdims))
+    return Tensor._constant(out)
 
 
 def reduce_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     out = a.data.mean(axis=axis, keepdims=keepdims)
-    count = a.data.size if axis is None else np.prod(
-        [a.data.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
-    )
-
-    def backward(grad, receive):
-        g = np.asarray(grad) / float(count)
-        if axis is not None and not keepdims:
-            g = np.expand_dims(g, axis=axis)
-        receive(a, np.broadcast_to(g, a.data.shape).copy())
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        count = (
+            a.data.size
+            if axis is None
+            else np.prod([a.data.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))])
+        )
+        return Tensor._from_op(out, _op.ReduceMean((a,), axis, keepdims, count))
+    return Tensor._constant(out)
 
 
 def reduce_max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     """Max reduction; ties split the gradient evenly between maxima."""
     out = a.data.max(axis=axis, keepdims=keepdims)
-    expanded = a.data.max(axis=axis, keepdims=True)
-    mask = (a.data == expanded).astype(np.float64)
-    mask = mask / mask.sum(axis=axis, keepdims=True)
-
-    def backward(grad, receive):
-        g = np.asarray(grad)
-        if axis is not None and not keepdims:
-            g = np.expand_dims(g, axis=axis)
-        receive(a, np.broadcast_to(g, a.data.shape) * mask)
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        expanded = a.data.max(axis=axis, keepdims=True)
+        mask = (a.data == expanded).astype(np.float64)
+        mask = mask / mask.sum(axis=axis, keepdims=True)
+        return Tensor._from_op(out, _op.ReduceMax((a,), axis, keepdims, mask))
+    return Tensor._constant(out)
 
 
 # ---------------------------------------------------------------------------
@@ -334,24 +298,18 @@ def softmax(a: Tensor, axis: int = -1) -> Tensor:
     shifted = a.data - a.data.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
     out = exps / exps.sum(axis=axis, keepdims=True)
-
-    def backward(grad, receive):
-        dot = (grad * out).sum(axis=axis, keepdims=True)
-        receive(a, out * (grad - dot))
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.Softmax((a,), axis, out))
+    return Tensor._constant(out)
 
 
 def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
     shifted = a.data - a.data.max(axis=axis, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out = shifted - log_norm
-    probs = np.exp(out)
-
-    def backward(grad, receive):
-        receive(a, grad - probs * grad.sum(axis=axis, keepdims=True))
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.LogSoftmax((a,), axis, np.exp(out)))
+    return Tensor._constant(out)
 
 
 # ---------------------------------------------------------------------------
@@ -363,13 +321,9 @@ def gather_rows(a: Tensor, indices) -> Tensor:
     """Select rows ``a[indices]`` (indices may repeat)."""
     indices = np.asarray(indices, dtype=np.int64)
     out = a.data[indices]
-
-    def backward(grad, receive):
-        full = np.zeros_like(a.data)
-        np.add.at(full, indices, grad)
-        receive(a, full)
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.GatherRows((a,), indices))
+    return Tensor._constant(out)
 
 
 def scatter_add_rows(a: Tensor, indices, num_rows: int) -> Tensor:
@@ -390,11 +344,9 @@ def segment_sum(a: Tensor, segment_ids, num_segments: int) -> Tensor:
     out_shape = (num_segments,) + a.data.shape[1:]
     out = np.zeros(out_shape, dtype=a.data.dtype)
     np.add.at(out, segment_ids, a.data)
-
-    def backward(grad, receive):
-        receive(a, grad[segment_ids])
-
-    return Tensor.make(out, (a,), backward)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        return Tensor._from_op(out, _op.SegmentSum((a,), segment_ids))
+    return Tensor._constant(out)
 
 
 def segment_mean(a: Tensor, segment_ids, num_segments: int) -> Tensor:
@@ -433,9 +385,12 @@ def segment_max(a: Tensor, segment_ids, num_segments: int) -> Tensor:
     np.maximum.at(out, segment_ids, a.data)
     empty = np.isinf(out)
     out = np.where(empty, 0.0, out)
-    winners = (a.data == out[segment_ids]).astype(np.float64)
+    if _core._GRAD_ENABLED and a.requires_grad:
+        winners = (a.data == out[segment_ids]).astype(np.float64)
+        return Tensor._from_op(out, _op.SegmentMax((a,), segment_ids, winners))
+    return Tensor._constant(out)
 
-    def backward(grad, receive):
-        receive(a, grad[segment_ids] * winners)
 
-    return Tensor.make(out, (a,), backward)
+# Bind this module into the Tensor class's arithmetic dunders (see the
+# ``_ops`` hook in repro.tensor.tensor — avoids a per-call import).
+_core._ops = sys.modules[__name__]

@@ -24,7 +24,7 @@ def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for p in params:
-            p.grad = p.grad * scale
+            p.grad *= scale
     return total
 
 
@@ -59,7 +59,9 @@ class SGD(Optimizer):
                 continue
             v *= self.momentum
             v -= self.lr * p.grad
-            p.data = p.data + v
+            # In place: anything holding p.data (views, optimizer state
+            # keyed on the buffer) keeps seeing the updated parameter.
+            p.data += v
 
 
 class Adam(Optimizer):
@@ -99,7 +101,9 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * p.grad**2
             m_hat = m / bias1
             v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            # Same subtraction as the old rebinding update, applied in place
+            # so the parameter buffer's identity is stable across steps.
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.epsilon)
 
     def set_lr(self, lr: float) -> None:
         """Update the learning rate (used by linear-decay schedules)."""

@@ -2,19 +2,25 @@
 
 Design
 ------
-Every differentiable operation builds a new :class:`Tensor` whose ``_parents``
-tuple references its inputs and whose ``_backward`` closure knows how to push
-the output gradient back into those inputs.  Calling :meth:`Tensor.backward`
-topologically sorts the implicit graph and runs the closures in reverse
-order.  Gradients accumulate into ``Tensor.grad`` (a plain numpy array) for
-every leaf created with ``requires_grad=True``.
+Every differentiable operation attaches an :class:`~repro.tensor.operation.
+Operation` instance to its output tensor (the ``_op`` slot).  The instance
+references the input tensors and caches whatever forward state the gradient
+needs.  Calling :meth:`Tensor.backward` topologically sorts the implicit
+graph iteratively and runs each operation's ``backward`` in reverse order,
+accumulating gradients **in place**: the first contribution to a node is
+borrowed (the upstream array, possibly a view), the second allocates a fresh
+owned array, and later contributions use ``+=`` on that owned buffer — same
+IEEE arithmetic order as repeated out-of-place adds, so results are
+bit-identical to the earlier closure-per-op tape while avoiding one
+allocation per extra fan-out edge.
 
 Broadcasting follows numpy semantics; :func:`unbroadcast` reduces an upstream
 gradient back to the shape of the operand that was broadcast.
 
 A module-level switch (:func:`no_grad`) disables graph construction for
 rollout/inference code paths, mirroring ``torch.no_grad`` /
-``tf.stop_gradient`` usage in RL libraries.
+``tf.stop_gradient`` usage in RL libraries.  Under ``no_grad`` the operation
+objects (and their cached masks) are never built at all.
 """
 
 from __future__ import annotations
@@ -27,6 +33,11 @@ import numpy as np
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED = True
+
+# Bound to the repro.tensor.ops module when it is imported (always, via the
+# package __init__); breaks the Tensor <-> ops import cycle without paying a
+# per-call import lookup in every arithmetic dunder.
+_ops = None
 
 
 def is_grad_enabled() -> bool:
@@ -74,6 +85,25 @@ def _as_array(value: ArrayLike) -> np.ndarray:
     return array
 
 
+class _ClosureOp:
+    """Adapter so :meth:`Tensor.make` keeps accepting backward closures."""
+
+    __slots__ = ("parents", "fn")
+
+    def __init__(self, parents: tuple, fn: Callable):
+        self.parents = parents
+        self.fn = fn
+
+    def backward(self, grad: np.ndarray):
+        pairs: list = []
+
+        def receive(parent, g):
+            pairs.append((parent, g))
+
+        self.fn(grad, receive)
+        return pairs
+
+
 class Tensor:
     """A numpy-backed array that supports reverse-mode differentiation.
 
@@ -86,36 +116,64 @@ class Tensor:
         :attr:`grad` when :meth:`backward` is called on a downstream scalar.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_op", "name")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
-        self._backward: Optional[Callable[[np.ndarray], None]] = None
-        self._parents: tuple = ()
+        self._op = None
         self.name = name
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @staticmethod
+    def _from_op(data: np.ndarray, op) -> "Tensor":
+        """Fast path: non-leaf tensor holding an already-float64 array."""
+        if not isinstance(data, np.ndarray):
+            # numpy reductions on 0-d inputs return numpy scalars.
+            data = np.asarray(data, dtype=np.float64)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.requires_grad = True
+        out.grad = None
+        out._op = op
+        out.name = ""
+        return out
+
+    @staticmethod
+    def _constant(data: np.ndarray) -> "Tensor":
+        """Fast path: constant tensor holding an already-float64 array."""
+        if not isinstance(data, np.ndarray):
+            data = np.asarray(data, dtype=np.float64)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.requires_grad = False
+        out.grad = None
+        out._op = None
+        out.name = ""
+        return out
+
+    @staticmethod
     def make(
         data: np.ndarray,
         parents: Iterable["Tensor"],
-        backward: Callable[[np.ndarray], None],
+        backward: Callable[[np.ndarray, Callable], None],
     ) -> "Tensor":
         """Create a non-leaf tensor from an op's forward result.
 
-        If gradients are globally disabled, or no parent requires a gradient,
-        the result is a constant and the closure is dropped.
+        Compatibility entry point for ad-hoc ops defined as closures (the
+        pre-Operation-class style): ``backward(grad, receive)`` must call
+        ``receive(parent, parent_grad)`` for each input.  If gradients are
+        globally disabled, or no parent requires a gradient, the result is a
+        constant and the closure is dropped.
         """
         parents = tuple(parents)
         out = Tensor(data)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
-            out._parents = parents
-            out._backward = backward
+            out._op = _ClosureOp(parents, backward)
         return out
 
     @staticmethod
@@ -180,35 +238,36 @@ class Tensor:
 
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # ids whose buffer in ``grads`` we allocated (safe to mutate / hand
+        # to a leaf); everything else is borrowed from an op's backward and
+        # may alias an upstream gradient or a view of one.
+        owned: set[int] = set()
         for node in order:
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
-            if node._backward is None:
+            op = node._op
+            if op is None:
                 # Leaf: accumulate into .grad
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    if id(node) in owned:
+                        node.grad = node_grad
+                    else:
+                        node.grad = node_grad.copy()
                 else:
-                    node.grad = node.grad + node_grad
+                    node.grad += node_grad
                 continue
-            node._accumulate_parent_grads(node_grad, grads)
-
-    def _accumulate_parent_grads(self, node_grad: np.ndarray, grads: dict) -> None:
-        """Run this node's backward closure, collecting parent gradients."""
-        contributions: list[tuple[Tensor, np.ndarray]] = []
-
-        def receive(parent: Tensor, g: np.ndarray) -> None:
-            contributions.append((parent, g))
-
-        self._backward(node_grad, receive)  # type: ignore[misc]
-        for parent, g in contributions:
-            if not parent.requires_grad:
-                continue
-            key = id(parent)
-            if key in grads:
-                grads[key] = grads[key] + g
-            else:
-                grads[key] = g
+            for parent, g in op.backward(node_grad):
+                if not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key not in grads:
+                    grads[key] = g
+                elif key in owned:
+                    grads[key] += g
+                else:
+                    grads[key] = grads[key] + g
+                    owned.add(key)
 
     def _topological_order(self) -> list["Tensor"]:
         """Return nodes reachable from ``self`` in reverse topological order."""
@@ -224,9 +283,11 @@ class Tensor:
                 continue
             visited.add(id(node))
             stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
+            op = node._op
+            if op is not None:
+                for parent in op.parents:
+                    if id(parent) not in visited:
+                        stack.append((parent, False))
         order.reverse()
         return order
 
@@ -235,99 +296,67 @@ class Tensor:
         self.grad = None
 
     # ------------------------------------------------------------------
-    # Arithmetic (implemented in ops.py, bound here to avoid import cycle)
+    # Arithmetic (implemented in ops.py; ``_ops`` is bound at import time)
     # ------------------------------------------------------------------
     def __add__(self, other):
-        from repro.tensor import ops
-
-        return ops.add(self, Tensor.ensure(other))
+        return _ops.add(self, other if isinstance(other, Tensor) else Tensor(other))
 
     def __radd__(self, other):
-        return self.__add__(other)
+        return _ops.add(self, other if isinstance(other, Tensor) else Tensor(other))
 
     def __sub__(self, other):
-        from repro.tensor import ops
-
-        return ops.sub(self, Tensor.ensure(other))
+        return _ops.sub(self, other if isinstance(other, Tensor) else Tensor(other))
 
     def __rsub__(self, other):
-        from repro.tensor import ops
-
-        return ops.sub(Tensor.ensure(other), self)
+        return _ops.sub(Tensor.ensure(other), self)
 
     def __mul__(self, other):
-        from repro.tensor import ops
-
-        return ops.mul(self, Tensor.ensure(other))
+        return _ops.mul(self, other if isinstance(other, Tensor) else Tensor(other))
 
     def __rmul__(self, other):
-        return self.__mul__(other)
+        return _ops.mul(self, other if isinstance(other, Tensor) else Tensor(other))
 
     def __truediv__(self, other):
-        from repro.tensor import ops
-
-        return ops.div(self, Tensor.ensure(other))
+        return _ops.div(self, other if isinstance(other, Tensor) else Tensor(other))
 
     def __rtruediv__(self, other):
-        from repro.tensor import ops
-
-        return ops.div(Tensor.ensure(other), self)
+        return _ops.div(Tensor.ensure(other), self)
 
     def __neg__(self):
-        from repro.tensor import ops
-
-        return ops.mul(self, Tensor(-1.0))
+        return _ops.mul(self, Tensor(-1.0))
 
     def __pow__(self, exponent: float):
-        from repro.tensor import ops
-
-        return ops.power(self, float(exponent))
+        return _ops.power(self, float(exponent))
 
     def __matmul__(self, other):
-        from repro.tensor import ops
-
-        return ops.matmul(self, Tensor.ensure(other))
+        return _ops.matmul(self, other if isinstance(other, Tensor) else Tensor(other))
 
     def __getitem__(self, index):
-        from repro.tensor import ops
-
-        return ops.getitem(self, index)
+        return _ops.getitem(self, index)
 
     # Reductions / shape ops -------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False):
-        from repro.tensor import ops
-
-        return ops.reduce_sum(self, axis=axis, keepdims=keepdims)
+        return _ops.reduce_sum(self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False):
-        from repro.tensor import ops
-
-        return ops.reduce_mean(self, axis=axis, keepdims=keepdims)
+        return _ops.reduce_mean(self, axis=axis, keepdims=keepdims)
 
     def max(self, axis=None, keepdims: bool = False):
-        from repro.tensor import ops
-
-        return ops.reduce_max(self, axis=axis, keepdims=keepdims)
+        return _ops.reduce_max(self, axis=axis, keepdims=keepdims)
 
     def min(self, axis=None, keepdims: bool = False):
-        from repro.tensor import ops
-
-        return ops.reduce_max(-self, axis=axis, keepdims=keepdims) * -1.0
+        return _ops.reduce_max(-self, axis=axis, keepdims=keepdims) * -1.0
 
     def reshape(self, *shape):
-        from repro.tensor import ops
-
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        return ops.reshape(self, shape)
+        return _ops.reshape(self, shape)
 
     def flatten(self):
         return self.reshape((-1,))
 
     def transpose(self, axes=None):
-        from repro.tensor import ops
-
-        return ops.transpose(self, axes)
+        return _ops.transpose(self, axes)
 
     @property
     def T(self):
@@ -335,41 +364,25 @@ class Tensor:
 
     # Pointwise nonlinearities -----------------------------------------------
     def exp(self):
-        from repro.tensor import ops
-
-        return ops.exp(self)
+        return _ops.exp(self)
 
     def log(self):
-        from repro.tensor import ops
-
-        return ops.log(self)
+        return _ops.log(self)
 
     def sqrt(self):
-        from repro.tensor import ops
-
-        return ops.sqrt(self)
+        return _ops.sqrt(self)
 
     def tanh(self):
-        from repro.tensor import ops
-
-        return ops.tanh(self)
+        return _ops.tanh(self)
 
     def relu(self):
-        from repro.tensor import ops
-
-        return ops.relu(self)
+        return _ops.relu(self)
 
     def sigmoid(self):
-        from repro.tensor import ops
-
-        return ops.sigmoid(self)
+        return _ops.sigmoid(self)
 
     def clip(self, low: float, high: float):
-        from repro.tensor import ops
-
-        return ops.clip(self, low, high)
+        return _ops.clip(self, low, high)
 
     def abs(self):
-        from repro.tensor import ops
-
-        return ops.absolute(self)
+        return _ops.absolute(self)

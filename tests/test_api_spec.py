@@ -244,6 +244,42 @@ class TestSpecValidation:
         spec = api.get_scenario("fig6").with_updates({"evaluation.lp_workers": 2})
         assert spec.evaluation.lp_workers == 2
 
+    def test_n_envs_defaults_to_one(self):
+        assert api.TrainingSpec().n_envs == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "four", None])
+    def test_invalid_n_envs_rejected(self, bad):
+        with pytest.raises(api.SpecValidationError, match="training.n_envs"):
+            api.TrainingSpec(n_envs=bad)
+
+    def test_default_n_envs_omitted_from_dict_form(self):
+        # Same hash-stability contract as evaluation.backend/lp_workers:
+        # the default must serialise exactly as before the field existed,
+        # so existing ResultStore entries and sweep resume stay valid.
+        assert "n_envs" not in api.TrainingSpec().to_dict()
+        assert api.TrainingSpec(n_envs=4).to_dict()["n_envs"] == 4
+        spec = api.ScenarioSpec(name="ne", routing={"strategies": ["shortest_path"]})
+        assert '"n_envs"' not in spec.canonical_json()
+        explicit = api.ScenarioSpec(
+            name="ne",
+            routing={"strategies": ["shortest_path"]},
+            training={"preset": "quick", "n_envs": 1},
+        )
+        assert explicit.spec_hash() == spec.spec_hash()
+
+    def test_n_envs_roundtrips(self):
+        spec = api.ScenarioSpec(
+            name="ne",
+            routing={"strategies": ["shortest_path"]},
+            training={"preset": "quick", "n_envs": 4},
+        )
+        assert roundtrip(spec) == spec
+        assert roundtrip(spec).training.n_envs == 4
+
+    def test_n_envs_settable_via_dotted_override(self):
+        spec = api.get_scenario("fig6").with_updates({"training.n_envs": 4})
+        assert spec.training.n_envs == 4
+
     def test_large_topology_presets_pin_or_auto_select_sparse(self):
         assert api.get_scenario("zoo-large-sparse").evaluation.backend == "sparse"
         assert api.get_scenario("zoo-kdl-sparse").evaluation.backend == "sparse"

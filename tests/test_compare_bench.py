@@ -134,6 +134,99 @@ class TestGate:
         assert compare_bench.ENGINE_SCALAR in stored["benchmarks"]
 
 
+class TestFrozenFloors:
+    """Floors pinned against implementations no current run can re-measure."""
+
+    # Pre-refactor: the curve cost 40x the reference. A current median of
+    # 0.04s normalizes to 4x -> 10x speedup over the frozen value.
+    FROZEN = {
+        "pre_vectorisation_curve": {
+            "benchmark": "test_training_quick_curve",
+            "normalized_median": 40.0,
+            "min_speedup": 5.0,
+        }
+    }
+
+    def baseline_with_frozen(self, tmp_path, frozen=None):
+        return write(
+            tmp_path,
+            "baseline.json",
+            {
+                "format": 1,
+                "normalize_by": REF,
+                "benchmarks": dict(BASE_MEDIANS, test_training_quick_curve=0.040),
+                "frozen": frozen or self.FROZEN,
+            },
+        )
+
+    def run_main(self, tmp_path, current_medians, extra_args=()):
+        current = write(tmp_path, "current.json", pytest_benchmark_json(current_medians))
+        baseline = self.baseline_with_frozen(tmp_path)
+        return compare_bench.main([str(current), "--baseline", str(baseline), *extra_args])
+
+    def test_floor_met_passes(self, tmp_path, capsys):
+        current = dict(BASE_MEDIANS, test_training_quick_curve=0.040)
+        assert self.run_main(tmp_path, current) == 0
+        assert "frozen floor" in capsys.readouterr().out
+
+    def test_floor_violation_fails(self, tmp_path, capsys):
+        # 0.10s / 0.010s reference = 10x normalized; 40 / 10 = 4x < 5x floor.
+        current = dict(BASE_MEDIANS, test_training_quick_curve=0.100)
+        assert self.run_main(tmp_path, current) == 1
+        assert "frozen floor" in capsys.readouterr().err
+
+    def test_floor_scales_with_machine_speed(self, tmp_path):
+        # A 3x slower box slows curve and reference alike: still 10x.
+        current = {
+            name: 3.0 * median
+            for name, median in dict(BASE_MEDIANS, test_training_quick_curve=0.040).items()
+        }
+        assert self.run_main(tmp_path, current) == 0
+
+    def test_missing_benchmark_fails_the_floor(self, tmp_path, capsys):
+        assert self.run_main(tmp_path, dict(BASE_MEDIANS)) == 1
+        err = capsys.readouterr().err
+        assert "cannot check frozen floor" in err
+
+    def test_raw_mode_skips_frozen_floors(self, tmp_path):
+        # Frozen values are normalized quantities; without a reference they
+        # cannot be checked, so --no-normalize must not fail on them.
+        current = dict(BASE_MEDIANS, test_training_quick_curve=0.040)
+        assert self.run_main(tmp_path, current, ["--no-normalize"]) == 0
+
+    def test_update_baseline_preserves_frozen_section(self, tmp_path):
+        baseline = self.baseline_with_frozen(tmp_path)
+        current = write(
+            tmp_path,
+            "current.json",
+            pytest_benchmark_json(dict(BASE_MEDIANS, test_training_quick_curve=0.020)),
+        )
+        assert (
+            compare_bench.main(
+                [str(current), "--baseline", str(baseline), "--update-baseline"]
+            )
+            == 0
+        )
+        stored = json.loads(baseline.read_text())
+        assert stored["frozen"] == self.FROZEN
+        assert stored["benchmarks"]["test_training_quick_curve"] == 0.020
+
+    def test_committed_baseline_pins_the_training_floor(self):
+        stored = json.loads(
+            (Path(_SCRIPT).parent / "BENCH_baseline.json").read_text()
+        )
+        frozen = stored.get("frozen", {})
+        # The floor is pinned at 1.5x: single-core runners measure the
+        # vectorized stack at 1.9-2.5x over the frozen pre-vectorisation
+        # median (5.2x on multi-core boxes), and the gate needs noise
+        # margin below the worst honest measurement.
+        assert any(
+            entry.get("benchmark") == "test_training_quick_curve"
+            and float(entry.get("min_speedup", 0.0)) >= 1.5
+            for entry in frozen.values()
+        ), "the committed baseline must pin the pre-vectorisation training floor"
+
+
 class TestSummaryOutput:
     def test_markdown_written_to_github_step_summary(self, tmp_path, monkeypatch, capsys):
         summary = tmp_path / "summary.md"
