@@ -373,6 +373,55 @@ def test_training_quick_curve(benchmark):
 
 
 # ---------------------------------------------------------------------------
+# Dynamics axis: per-step perturbation overhead on the large sparse preset.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="dynamics")
+def test_dynamics_variant_materialisation(benchmark):
+    """Applying a two-link outage delta to the 197-node Cogent-scale graph.
+
+    This is the per-distinct-delta cost a timeline pays once (variants are
+    memoised per delta): rebuild the edge list, rescale capacities, stamp
+    the delta fingerprint into the LP cache slot.
+    """
+    from repro.graphs.dynamics import NetworkDelta
+    from repro.graphs.zoo import topology
+
+    net = topology("cogent-like")
+    removable = [tuple(sorted(edge)) for edge in net.edges[:4]]
+    delta = NetworkDelta(removed_links=(removable[0], removable[2]))
+
+    variant = benchmark(delta.apply, net)
+    assert variant.num_edges == net.num_edges - 4
+
+
+@pytest.mark.benchmark(group="dynamics")
+def test_dynamics_linkflap_preset_evaluation(benchmark):
+    """The full zoo-large-sparse-linkflap evaluation (strategies only).
+
+    Together with ``test_dynamics_static_preset_evaluation`` this pins the
+    whole-run overhead of the dynamics axis: the delta is two extra
+    factorised variants' worth of LP/solve work on top of the static run.
+    """
+    from repro import api
+
+    spec = api.get_scenario("zoo-large-sparse-linkflap")
+    result = benchmark.pedantic(lambda: api.run(spec), rounds=3, iterations=1, warmup_rounds=1)
+    assert all(entry.count == 5 for entry in result.strategies.values())
+
+
+@pytest.mark.benchmark(group="dynamics")
+def test_dynamics_static_preset_evaluation(benchmark):
+    """The static zoo-large-sparse evaluation — the linkflap bench's floor."""
+    from repro import api
+
+    spec = api.get_scenario("zoo-large-sparse")
+    result = benchmark.pedantic(lambda: api.run(spec), rounds=3, iterations=1, warmup_rounds=1)
+    assert all(entry.count == 5 for entry in result.strategies.values())
+
+
+# ---------------------------------------------------------------------------
 # Routing service: warm-cache request latency, with and without HTTP.
 # ---------------------------------------------------------------------------
 

@@ -1,9 +1,12 @@
 """``repro.api`` — the declarative scenario layer.
 
-An experiment is a :class:`~repro.api.spec.ScenarioSpec`: five axes
-(topology, traffic, routing, training, evaluation) of plain data, each
-resolving through a string-keyed component registry, serialisable to/from
-JSON and validated eagerly.  :func:`run` executes any spec through the
+An experiment is a :class:`~repro.api.spec.ScenarioSpec`: six axes
+(topology, traffic, routing, training, evaluation, dynamics) of plain
+data, each resolving through a string-keyed component registry,
+serialisable to/from JSON and validated eagerly.  The dynamics axis makes
+the network time-varying — links fail and recover, capacities drift,
+demand spikes — with every evaluation step scored against the network in
+force at that step.  :func:`run` executes any spec through the
 vectorized batch-evaluation engine; :func:`sweep` fans a spec (or a grid
 of overrides) out across worker processes as single-seed sub-specs, with
 results cached per spec hash in a :class:`ResultStore`;
@@ -28,12 +31,14 @@ Extend by registration::
 """
 
 from repro.api.registry import (
+    DYNAMICS,
     POLICIES,
     STRATEGIES,
     TOPOLOGIES,
     TRAFFIC_MODELS,
     Registry,
     UnknownComponentError,
+    register_dynamics,
     register_policy,
     register_strategy,
     register_topology,
@@ -42,6 +47,7 @@ from repro.api.registry import (
 )
 from repro.api.spec import (
     KNOWN_METRICS,
+    DynamicsSpec,
     EvaluationSpec,
     PolicySpec,
     RoutingSpec,
@@ -52,6 +58,7 @@ from repro.api.spec import (
     TrafficSpec,
     TrainingSpec,
 )
+from repro.graphs.dynamics import NetworkDelta, NetworkTimeline
 from repro.api import components as _components  # populate the registries
 from repro.api.results import EvaluationResult, LearningCurve, ScenarioResult, merge_results
 from repro.api.runner import run
@@ -90,10 +97,12 @@ __all__ = [
     "TRAFFIC_MODELS",
     "STRATEGIES",
     "POLICIES",
+    "DYNAMICS",
     "register_topology",
     "register_traffic",
     "register_strategy",
     "register_policy",
+    "register_dynamics",
     "registry_for",
     "KNOWN_METRICS",
     "SpecValidationError",
@@ -104,7 +113,10 @@ __all__ = [
     "RoutingSpec",
     "TrainingSpec",
     "EvaluationSpec",
+    "DynamicsSpec",
     "ScenarioSpec",
+    "NetworkDelta",
+    "NetworkTimeline",
     "EvaluationResult",
     "LearningCurve",
     "ScenarioResult",

@@ -1,7 +1,7 @@
 """Built-in component registrations for the scenario API.
 
 Importing this module (which :mod:`repro.api` does on import) populates the
-four registries from the existing layers:
+five registries from the existing layers:
 
 * **topologies** — every embedded zoo topology (:mod:`repro.graphs.zoo`),
   the random generator families (:mod:`repro.graphs.generators`), and the
@@ -12,19 +12,32 @@ four registries from the existing layers:
   :mod:`repro.traffic.matrices`;
 * **strategies** — the fixed-routing baselines of :mod:`repro.routing`;
 * **policies** — the MLP baseline and both GNN policies of
-  :mod:`repro.policies`.
+  :mod:`repro.policies`;
+* **dynamics** — time-varying network models
+  (:mod:`repro.graphs.dynamics`): mid-sequence link failure/recovery,
+  capacity heterogeneity and drift, regional demand skew, and flash-crowd
+  bursts.
 
 Topology builders return either a single :class:`Network` (fixed-graph
 scenarios) or a ``(train_graphs, test_graphs)`` tuple (generalisation
 scenarios).  Policy factories take ``(networks, scale, seed, **params)``
 where ``networks`` covers every graph the policy must handle; factories for
 iterative policies carry an ``iterative = True`` attribute so the runner
-picks the right environment.
+picks the right environment.  Dynamics builders take
+``(network, length, **params)`` and return a
+:class:`~repro.graphs.dynamics.NetworkTimeline`; every draw they make is
+seeded from spec params only, so the same spec always schedules the same
+perturbations regardless of evaluation seed.
 """
 
 from __future__ import annotations
 
+import warnings
+
+import numpy as np
+
 from repro.api.registry import (
+    register_dynamics,
     register_policy,
     register_strategy,
     register_topology,
@@ -32,6 +45,7 @@ from repro.api.registry import (
 )
 from repro.api.spec import SpecValidationError
 from repro.experiments.config import ExperimentScale
+from repro.graphs.dynamics import NetworkDelta, NetworkTimeline, identity_timeline
 from repro.graphs.generators import (
     barabasi_albert_network,
     different_graphs_pool,
@@ -39,7 +53,12 @@ from repro.graphs.generators import (
     random_connected_network,
     waxman_network,
 )
-from repro.graphs.modifications import random_modification, remove_random_edge
+from repro.graphs.modifications import (
+    distinct_link_failures,
+    failed_links,
+    random_modification,
+    remove_random_edge,
+)
 from repro.graphs.network import DEFAULT_CAPACITY, Network
 from repro.graphs.zoo import TOPOLOGY_NAMES, topology
 from repro.policies.gnn import GNNPolicy
@@ -50,8 +69,6 @@ from repro.routing.proportional import capacity_proportional_routing, inverse_we
 from repro.routing.shortest_path import ecmp_routing, shortest_path_routing
 from repro.traffic.matrices import GENERATORS as _TRAFFIC_GENERATORS
 from repro.utils.seeding import rng_from_seed
-
-import numpy as np
 
 # ---------------------------------------------------------------------------
 # Topologies: embedded zoo members
@@ -149,7 +166,14 @@ def link_failure_sweep(
     seed: int = 0,
     capacity: float = DEFAULT_CAPACITY,
 ) -> tuple[list[Network], list[Network]]:
-    """Train on the intact topology, test on it plus single-link-failure variants.
+    """[deprecated] Train on the intact topology, test on single-link-failure variants.
+
+    Failure sweeps now live on the ``dynamics`` axis: the ``link_flap``
+    model fails links *mid-sequence* and recovers them, scoring every step
+    against the network in force (see the ``link-failure-flap`` preset).
+    This pool builder is kept as a bit-compatible shim — the variant
+    selection is the same draw loop (:func:`distinct_link_failures`), so
+    historical pools and stored results reproduce exactly.
 
     Each test variant removes one *distinct* random link whose loss keeps
     the graph connected (``repro.graphs.modifications.remove_random_edge``),
@@ -157,25 +181,19 @@ def link_failure_sweep(
     failures; duplicate draws are rejected until ``num_failures`` distinct
     variants exist.
     """
+    warnings.warn(
+        "topology 'link_failure_sweep' is deprecated: express failure sweeps "
+        "on the dynamics axis instead (dynamics model 'link_flap', e.g. the "
+        "'link-failure-flap' preset)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if num_failures < 1:
         raise SpecValidationError(
             f"link_failure_sweep needs num_failures >= 1, got {num_failures}"
         )
     base_net = topology(base, capacity)
-    rng = rng_from_seed(seed)
-    failed: list[Network] = []
-    seen: set[frozenset] = set()
-    attempts = 0
-    while len(failed) < num_failures and attempts < 50 * num_failures:
-        attempts += 1
-        candidate = remove_random_edge(base_net, rng)
-        if candidate is None:
-            continue
-        key = frozenset(tuple(edge) for edge in candidate.edges)
-        if key in seen:
-            continue
-        seen.add(key)
-        failed.append(candidate)
+    failed = distinct_link_failures(base_net, num_failures, rng_from_seed(seed))
     if len(failed) < num_failures:
         raise SpecValidationError(
             f"topology {base!r} does not have {num_failures} distinct removable "
@@ -309,3 +327,182 @@ register_policy("gnn", _build_gnn, description="one-shot GNN policy (topology-ag
 register_policy(
     "gnn_iterative", _build_iterative, description="iterative GNN policy (one edge per sub-step)"
 )
+
+
+# ---------------------------------------------------------------------------
+# Dynamics models (time-varying networks, repro.graphs.dynamics)
+# ---------------------------------------------------------------------------
+#
+# Builders take (network, length, **params) and return a NetworkTimeline of
+# exactly `length` steps.  All randomness is seeded from spec params — the
+# perturbation schedule is part of the scenario, not of the evaluation seed
+# — so two runs of the same spec always face the same failures and bursts.
+
+
+def _window(length: int, start, end, *, context: str) -> tuple[int, int]:
+    """Validate (or default) a perturbation window ``[start, end)``."""
+    if start is None:
+        start = length // 3
+    if end is None:
+        end = max(int(start) + 1, (2 * length) // 3)
+    try:
+        start, end = int(start), int(end)
+    except (TypeError, ValueError):
+        raise SpecValidationError(
+            f"{context}: window bounds must be ints, got {start!r}, {end!r}"
+        ) from None
+    if not 0 <= start < end <= length:
+        raise SpecValidationError(
+            f"{context}: need 0 <= start < end <= {length} (the sequence "
+            f"length), got [{start}, {end})"
+        )
+    return start, end
+
+
+@register_dynamics("static")
+def _static_dynamics(network: Network, length: int) -> NetworkTimeline:
+    """Identity dynamics: the unperturbed base network at every step."""
+    return identity_timeline(network, length)
+
+
+@register_dynamics("link_flap")
+def _link_flap(
+    network: Network,
+    length: int,
+    num_failures: int = 1,
+    fail_step=None,
+    recover_step=None,
+    seed: int = 0,
+) -> NetworkTimeline:
+    """Mid-sequence link failure and recovery.
+
+    ``num_failures`` random links (drawn one by one, each draw constrained
+    to keep the remaining graph connected) fail simultaneously at
+    ``fail_step`` and recover at ``recover_step`` — steps in
+    ``[fail_step, recover_step)`` are scored against the degraded network,
+    every other step against the intact one.  Defaults place the outage
+    over the middle third of the sequence.
+    """
+    if num_failures < 1:
+        raise SpecValidationError(f"link_flap needs num_failures >= 1, got {num_failures}")
+    fail_step, recover_step = _window(length, fail_step, recover_step, context="link_flap")
+    rng = rng_from_seed(seed)
+    degraded = network
+    for _ in range(num_failures):
+        candidate = remove_random_edge(degraded, rng)
+        if candidate is None:
+            raise SpecValidationError(
+                f"link_flap cannot fail {num_failures} links of {network.name!r} "
+                "simultaneously without disconnecting it; reduce num_failures"
+            )
+        degraded = candidate
+    outage = NetworkDelta(removed_links=tuple(failed_links(network, degraded)))
+    identity = NetworkDelta()
+    return NetworkTimeline(
+        network,
+        [outage if fail_step <= t < recover_step else identity for t in range(length)],
+    )
+
+
+@register_dynamics("capacity_drift")
+def _capacity_drift(
+    network: Network,
+    length: int,
+    amplitude: float = 0.3,
+    period=None,
+    heterogeneity: float = 0.0,
+    seed: int = 0,
+) -> NetworkTimeline:
+    """Per-link sinusoidal capacity drift with optional static heterogeneity.
+
+    Each edge's capacity is scaled by
+    ``h_e * (1 + amplitude * sin(2*pi*t/period + phase_e))`` — seeded random
+    phases desynchronise the links, and ``heterogeneity`` draws the static
+    factor ``h_e`` uniformly from ``[1-h, 1+h]`` so links start unequal.
+    Both knobs must stay below 1 to keep every capacity positive.
+    """
+    if not 0.0 <= amplitude < 1.0:
+        raise SpecValidationError(
+            f"capacity_drift needs 0 <= amplitude < 1, got {amplitude}"
+        )
+    if not 0.0 <= heterogeneity < 1.0:
+        raise SpecValidationError(
+            f"capacity_drift needs 0 <= heterogeneity < 1, got {heterogeneity}"
+        )
+    if period is None:
+        period = max(2, length)
+    if not float(period) > 0:
+        raise SpecValidationError(f"capacity_drift needs period > 0, got {period}")
+    rng = rng_from_seed(seed)
+    phases = rng.uniform(0.0, 2.0 * np.pi, network.num_edges)
+    static = 1.0 + heterogeneity * rng.uniform(-1.0, 1.0, network.num_edges)
+    deltas = []
+    for t in range(length):
+        scale = static * (1.0 + amplitude * np.sin(2.0 * np.pi * t / float(period) + phases))
+        deltas.append(NetworkDelta(capacity_scale=tuple(scale)))
+    return NetworkTimeline(network, deltas)
+
+
+@register_dynamics("regional_skew")
+def _regional_skew(
+    network: Network,
+    length: int,
+    fraction: float = 0.25,
+    factor: float = 3.0,
+    seed: int = 0,
+) -> NetworkTimeline:
+    """Regional demand skew: traffic *into* a seeded node region is scaled.
+
+    A random region of ``round(fraction * n)`` nodes (at least one) receives
+    ``factor``-times its nominal demand at every step — concentration
+    without changing the network itself, so the LP optimum and the agent
+    both face the same skewed matrices.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise SpecValidationError(f"regional_skew needs 0 < fraction <= 1, got {fraction}")
+    if not factor > 0.0:
+        raise SpecValidationError(f"regional_skew needs factor > 0, got {factor}")
+    n = network.num_nodes
+    region = rng_from_seed(seed).choice(n, size=max(1, int(round(fraction * n))), replace=False)
+    factors = np.ones((length, n, n))
+    factors[:, :, region] *= float(factor)
+    return NetworkTimeline(network, [NetworkDelta()] * length, demand_factors=factors)
+
+
+@register_dynamics("flash_crowd")
+def _flash_crowd(
+    network: Network,
+    length: int,
+    hotspots: int = 1,
+    factor: float = 5.0,
+    start=None,
+    duration=None,
+    seed: int = 0,
+) -> NetworkTimeline:
+    """Flash-crowd burst: demand into hotspot nodes spikes for a window.
+
+    ``hotspots`` seeded random destination nodes receive ``factor``-times
+    their nominal demand during ``[start, start + duration)``; outside the
+    burst window the traffic is untouched.  Defaults burst over the middle
+    third of the sequence.
+    """
+    if not 1 <= hotspots <= network.num_nodes:
+        raise SpecValidationError(
+            f"flash_crowd needs 1 <= hotspots <= {network.num_nodes}, got {hotspots}"
+        )
+    if not factor > 0.0:
+        raise SpecValidationError(f"flash_crowd needs factor > 0, got {factor}")
+    if start is None and duration is None:
+        burst_start, burst_end = _window(length, None, None, context="flash_crowd")
+    else:
+        burst_start = length // 3 if start is None else start
+        burst_end = (
+            max(int(burst_start) + 1, (2 * length) // 3)
+            if duration is None
+            else int(burst_start) + int(duration)
+        )
+        burst_start, burst_end = _window(length, burst_start, burst_end, context="flash_crowd")
+    targets = rng_from_seed(seed).choice(network.num_nodes, size=hotspots, replace=False)
+    factors = np.ones((length, network.num_nodes, network.num_nodes))
+    factors[burst_start:burst_end][:, :, targets] *= float(factor)
+    return NetworkTimeline(network, [NetworkDelta()] * length, demand_factors=factors)

@@ -25,6 +25,7 @@ from typing import Callable, Optional, Union
 
 from repro.api.registry import Registry
 from repro.api.spec import (
+    DynamicsSpec,
     EvaluationSpec,
     PolicySpec,
     RoutingSpec,
@@ -349,6 +350,88 @@ def zoo_kdl_sparse_spec() -> ScenarioSpec:
     )
 
 
+# ---------------------------------------------------------------------------
+# Dynamic scenarios — the time-varying dynamics axis
+# ---------------------------------------------------------------------------
+#
+# These score every strategy and trained policy against the *sequence* of
+# perturbed networks a dynamics model produces: links fail mid-sequence and
+# recover, demand spikes into hotspots.  The perturbation schedule is part
+# of the spec (dynamics models seed from their own params), so runs are
+# reproducible without touching the training choreography — training always
+# sees the intact base network.
+
+
+def link_failure_flap_spec() -> ScenarioSpec:
+    """Mid-sequence link failure and recovery on Abilene (dynamics axis)."""
+    return ScenarioSpec(
+        name="link-failure-flap",
+        description="Abilene with one link failing mid-sequence and recovering: "
+        "GNN vs classical across the outage window",
+        topology=TopologySpec("abilene"),
+        traffic=TrafficSpec("bimodal"),
+        dynamics=DynamicsSpec("link_flap", {"num_failures": 1, "seed": 0}),
+        routing=RoutingSpec(
+            policies=(PolicySpec("gnn"),),
+            strategies=(StrategySpec("shortest_path"), StrategySpec("ecmp")),
+        ),
+        training=TrainingSpec("quick"),
+        evaluation=EvaluationSpec(metrics=("utilisation_ratio",), seeds=(0,)),
+    )
+
+
+def zoo_large_sparse_linkflap_spec() -> ScenarioSpec:
+    """zoo-large-sparse under a two-link mid-sequence flap (sparse backend)."""
+    return ScenarioSpec(
+        name="zoo-large-sparse-linkflap",
+        description="197-node Cogent-scale zoo topology, sparse demand, "
+        "two links flapping mid-sequence on the sparse solver backend",
+        topology=TopologySpec("cogent-like"),
+        traffic=TrafficSpec(
+            "sparse",
+            params={"density": 0.0005, "mean": 2000.0, "std": 400.0},
+            length=8,
+            cycle_length=2,
+            num_train=1,
+            num_test=1,
+        ),
+        # The quick preset scores steps 3..7 of the length-8 sequences, so
+        # the [4, 6) outage window sits squarely inside the scored range.
+        dynamics=DynamicsSpec(
+            "link_flap",
+            {"num_failures": 2, "fail_step": 4, "recover_step": 6, "seed": 0},
+        ),
+        routing=RoutingSpec(
+            strategies=(StrategySpec("shortest_path"), StrategySpec("ecmp")),
+        ),
+        training=TrainingSpec("quick"),
+        evaluation=EvaluationSpec(
+            metrics=("utilisation_ratio",), seeds=(0,), backend="sparse"
+        ),
+    )
+
+
+def flash_crowd_nsfnet_spec() -> ScenarioSpec:
+    """NSFNET under a flash-crowd demand burst into two hotspot nodes."""
+    return ScenarioSpec(
+        name="flash-crowd-nsfnet",
+        description="NSFNET with demand into two hotspot nodes spiking 4x for "
+        "a mid-sequence burst window",
+        topology=TopologySpec("nsfnet"),
+        traffic=TrafficSpec("bimodal"),
+        dynamics=DynamicsSpec("flash_crowd", {"hotspots": 2, "factor": 4.0, "seed": 0}),
+        routing=RoutingSpec(
+            strategies=(
+                StrategySpec("shortest_path"),
+                StrategySpec("ecmp"),
+                StrategySpec("capacity_proportional"),
+            ),
+        ),
+        training=TrainingSpec("quick"),
+        evaluation=EvaluationSpec(metrics=("utilisation_ratio",), seeds=(0,)),
+    )
+
+
 register_scenario(fig6_spec)
 register_scenario(fig7_spec)
 register_scenario(fig8_modifications_spec)
@@ -360,6 +443,9 @@ register_scenario(strategy_grid_spec)
 register_scenario(zoo_large_sparse_spec)
 register_scenario(random_sparse_240_spec)
 register_scenario(zoo_kdl_sparse_spec)
+register_scenario(link_failure_flap_spec)
+register_scenario(zoo_large_sparse_linkflap_spec)
+register_scenario(flash_crowd_nsfnet_spec)
 
 
 __all__ = [
@@ -378,4 +464,7 @@ __all__ = [
     "zoo_large_sparse_spec",
     "random_sparse_240_spec",
     "zoo_kdl_sparse_spec",
+    "link_failure_flap_spec",
+    "zoo_large_sparse_linkflap_spec",
+    "flash_crowd_nsfnet_spec",
 ]

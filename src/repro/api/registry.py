@@ -12,15 +12,22 @@ third-party code can plug new components in without touching the runner:
 * :data:`STRATEGIES` — fixed-routing factories ``network -> RoutingStrategy``
   (``@register_strategy``);
 * :data:`POLICIES` — learned-policy factories building an untrained policy
-  from ``(networks, scale, seed, params)`` (``@register_policy``).
+  from ``(networks, scale, seed, params)`` (``@register_policy``);
+* :data:`DYNAMICS` — time-varying network models building a
+  :class:`~repro.graphs.dynamics.NetworkTimeline` from
+  ``(network, length, **params)`` (``@register_dynamics``).
 
 Unknown keys raise :class:`UnknownComponentError` naming the bad key and
 listing the valid ones — the registries are the single source of truth the
-spec validator and the ``runner list`` CLI both read.
+spec validator and the ``runner list`` / ``runner describe`` CLI all read.
+:meth:`Registry.describe_entry` exposes each builder's accepted keyword
+arguments with their defaults, so clients introspect parameters instead of
+string-guessing them.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Iterator, Optional
 
 
@@ -87,11 +94,54 @@ class Registry:
         """(name, description) rows for the CLI listing."""
         return [(name, self._entries[name][1]) for name in self.names()]
 
+    def describe_entry(self, name: str) -> dict:
+        """Machine-readable record for one component, JSON-ready.
+
+        Returns ``{"name", "description", "doc", "params"}`` where
+        ``params`` lists the builder's signature entries in declaration
+        order: ``{"name", "required"}`` plus ``"default"`` for keyword
+        arguments (non-JSON defaults are stringified via ``repr``).
+        Positional parameters without defaults are the builder-protocol
+        slots the runner fills (e.g. ``networks, scale, seed`` for
+        policies); everything with a default is a spec ``params`` knob.
+        """
+        builder = self.get(name)
+        params: list[dict] = []
+        try:
+            signature = inspect.signature(builder)
+        except (TypeError, ValueError):
+            signature = None
+        if signature is not None:
+            for parameter in signature.parameters.values():
+                if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+                    continue
+                entry: dict = {"name": parameter.name}
+                if parameter.default is parameter.empty:
+                    entry["required"] = True
+                else:
+                    entry["required"] = False
+                    default = parameter.default
+                    if not isinstance(default, (bool, int, float, str, type(None))):
+                        default = repr(default)
+                    entry["default"] = default
+                params.append(entry)
+        return {
+            "name": str(name).lower(),
+            "description": self.describe(name),
+            "doc": inspect.getdoc(builder) or "",
+            "params": params,
+        }
+
+    def catalog(self) -> list[dict]:
+        """Every component's :meth:`describe_entry`, sorted by name."""
+        return [self.describe_entry(name) for name in self.names()]
+
 
 TOPOLOGIES = Registry("topology")
 TRAFFIC_MODELS = Registry("traffic model")
 STRATEGIES = Registry("routing strategy")
 POLICIES = Registry("policy")
+DYNAMICS = Registry("dynamics model")
 
 
 def register_topology(name: str, builder: Optional[Callable] = None, description: str = ""):
@@ -114,6 +164,11 @@ def register_policy(name: str, builder: Optional[Callable] = None, description: 
     return POLICIES.register(name, builder, description)
 
 
+def register_dynamics(name: str, builder: Optional[Callable] = None, description: str = ""):
+    """Register a dynamics model: ``(network, length, **params) -> NetworkTimeline``."""
+    return DYNAMICS.register(name, builder, description)
+
+
 def registry_for(axis: str) -> Registry:
     """Map a CLI axis name (``topologies``/``traffic``/...) to its registry."""
     table: dict[str, Registry] = {
@@ -121,6 +176,7 @@ def registry_for(axis: str) -> Registry:
         "traffic": TRAFFIC_MODELS,
         "strategies": STRATEGIES,
         "policies": POLICIES,
+        "dynamics": DYNAMICS,
     }
     try:
         return table[axis]
@@ -135,9 +191,11 @@ __all__ = [
     "TRAFFIC_MODELS",
     "STRATEGIES",
     "POLICIES",
+    "DYNAMICS",
     "register_topology",
     "register_traffic",
     "register_strategy",
     "register_policy",
+    "register_dynamics",
     "registry_for",
 ]

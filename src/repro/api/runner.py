@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 
-from repro.api.registry import POLICIES, STRATEGIES, TOPOLOGIES, TRAFFIC_MODELS
+from repro.api.registry import DYNAMICS, POLICIES, STRATEGIES, TOPOLOGIES, TRAFFIC_MODELS
 from repro.api.results import EvaluationResult, LearningCurve, ScenarioResult, merge_results
 from repro.api.spec import PolicySpec, ScenarioSpec, SpecValidationError
 from repro.engine.evaluate import batch_evaluate, batch_evaluate_routing, warm_lp_cache
@@ -90,6 +90,30 @@ def _build_policy(pspec: PolicySpec, networks: list[Network], scale: ExperimentS
     return policy, bool(getattr(builder, "iterative", False))
 
 
+def _dynamics_factory(spec: ScenarioSpec):
+    """The engine-facing ``(network, length) -> NetworkTimeline`` factory.
+
+    ``None`` when the scenario is static — the batch paths then skip the
+    dynamics machinery entirely, keeping them bit-identical to pre-dynamics
+    behaviour.  Every draw a dynamics builder makes is seeded from its spec
+    params, so the factory is deliberately independent of the run seed.
+    """
+    if spec.dynamics is None:
+        return None
+    builder = DYNAMICS.get(spec.dynamics.name)
+    name, params = spec.dynamics.name, spec.dynamics.params
+
+    def factory(network: Network, length: int):
+        try:
+            return builder(network, length, **params)
+        except TypeError as exc:
+            raise SpecValidationError(
+                f"dynamics {name!r} rejected params {params}: {exc}"
+            ) from None
+
+    return factory
+
+
 def _strategy_factory(sspec):
     builder = STRATEGIES.get(sspec.name)
 
@@ -114,6 +138,7 @@ class _SeedRun:
         self.scale = spec.training.scale()
         self.train_graphs, self.test_graphs, self.single = _build_topology(spec)
         self.rewarder = RewardComputer()
+        self.dynamics = _dynamics_factory(spec)
         self.model = TRAFFIC_MODELS.get(spec.traffic.model)
         traffic = spec.traffic
         # ``is not None`` throughout: an explicit spec value always wins,
@@ -226,9 +251,18 @@ class _SeedRun:
             # evaluation fills the same cache lazily with exactly the
             # optima it needs (large sparse topologies would otherwise pay
             # for training sequences nothing ever consumes).
+            # Dynamic scenarios warm only the training workload here: the
+            # evaluation pass re-warms per perturbed variant (with the
+            # demand overlay applied), so base-graph optima for the test
+            # sequences would largely go unused.
+            warm = (
+                self.train_seqs + self.test_seqs
+                if self.dynamics is None
+                else self.train_seqs
+            )
             warm_lp_cache(
                 self.train_graphs[0],
-                self.train_seqs + self.test_seqs,
+                warm,
                 self.rewarder,
                 workers=self.spec.evaluation.lp_workers,
             )
@@ -272,6 +306,7 @@ class _SeedRun:
                 reward_computer=self.rewarder,
                 backend=self.spec.evaluation.backend,
                 lp_workers=self.spec.evaluation.lp_workers,
+                dynamics=self.dynamics,
             ).combined
         return out
 
@@ -286,6 +321,7 @@ class _SeedRun:
                 memory_length=self.scale.memory_length,
                 reward_computer=self.rewarder,
                 backend=self.spec.evaluation.backend,
+                dynamics=self.dynamics,
             ).combined
         return out
 

@@ -104,6 +104,18 @@ class ServiceSpec:
 
     def __post_init__(self):
         object.__setattr__(self, "scenario", _coerce_scenario(self.scenario))
+        # A deployment answers per-request demand matrices against one
+        # frozen network; silently evaluating the static base graph of a
+        # dynamic scenario would misreport every perturbed step, so the
+        # spec rejects (the HTTP surface maps this to a 400).  An explicit
+        # "static" dynamics normalises to None upstream and serves fine.
+        if self.scenario.dynamics is not None:
+            raise SpecValidationError(
+                f"the routing service cannot serve a dynamic scenario (dynamics "
+                f"{self.scenario.dynamics.name!r}): requests are evaluated against "
+                "one frozen network; evaluate time-varying scenarios offline with "
+                "run()/sweep(), or deploy the static base scenario"
+            )
         if not isinstance(self.host, str) or not self.host:
             raise SpecValidationError(
                 f"service.host must be a non-empty string, got {self.host!r}"

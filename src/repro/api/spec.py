@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Mapping, Optional
 
 from repro.api.registry import (
+    DYNAMICS,
     POLICIES,
     STRATEGIES,
     TOPOLOGIES,
@@ -416,11 +417,60 @@ class EvaluationSpec:
 
 
 @dataclass(frozen=True)
+class DynamicsSpec:
+    """The dynamics axis: a time-varying network model plus its parameters.
+
+    The named component (``@register_dynamics``) builds a
+    :class:`~repro.graphs.dynamics.NetworkTimeline` per evaluated network —
+    the per-step schedule of perturbed variants (and optional demand
+    overlay) the evaluation scores against.  ``"static"`` is the identity
+    model: a scenario constructed with it normalises to ``dynamics=None``
+    (the default), so explicit-static and unset specs are *equal* — same
+    dict form, same spec hash, same execution path, bit for bit.
+    """
+
+    name: str = "static"
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.name not in DYNAMICS:
+            raise UnknownComponentError("dynamics model", self.name, DYNAMICS.names())
+        object.__setattr__(self, "name", str(self.name).lower())
+        object.__setattr__(self, "params", _check_params("dynamics", self.params))
+        if self.name == "static" and self.params:
+            raise SpecValidationError(
+                f"dynamics 'static' is the identity model and takes no params, "
+                f"got {sorted(self.params)}"
+            )
+
+    @property
+    def is_static(self) -> bool:
+        return self.name == "static"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data) -> "DynamicsSpec":
+        if isinstance(data, str):
+            return cls(name=data)
+        if not isinstance(data, Mapping):
+            raise SpecValidationError(
+                f"dynamics must be a component name or mapping, got {type(data).__name__}"
+            )
+        _reject_unknown_keys(cls, data, "dynamics")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
-    """A complete declarative experiment: five axes plus a name.
+    """A complete declarative experiment: six axes plus a name.
 
     Frozen, eagerly validated, and losslessly serialisable: equality is
     preserved through ``to_dict -> json.dumps -> json.loads -> from_dict``.
+    The ``dynamics`` axis defaults to ``None`` (a static network) and is
+    omitted from the dict form at that default, so every pre-existing spec
+    hash — and with it every stored result — is unchanged.
     """
 
     name: str
@@ -430,6 +480,7 @@ class ScenarioSpec:
     routing: RoutingSpec = field(default_factory=RoutingSpec)
     training: TrainingSpec = field(default_factory=TrainingSpec)
     evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+    dynamics: Optional[DynamicsSpec] = None
 
     def __post_init__(self):
         if not isinstance(self.name, str) or not self.name:
@@ -448,6 +499,33 @@ class ScenarioSpec:
             elif not isinstance(value, cls):
                 raise SpecValidationError(
                     f"{attr} must be a {cls.__name__} or mapping, got {type(value).__name__}"
+                )
+        dynamics = self.dynamics
+        if isinstance(dynamics, (Mapping, str)):
+            dynamics = DynamicsSpec.from_dict(dynamics)
+        if dynamics is not None and not isinstance(dynamics, DynamicsSpec):
+            raise SpecValidationError(
+                f"dynamics must be a DynamicsSpec, mapping, component name or None, "
+                f"got {type(dynamics).__name__}"
+            )
+        if dynamics is not None and dynamics.is_static:
+            # Explicit 'static' IS the default: normalising it to None here
+            # makes the two spellings equal specs with equal hashes, and
+            # routes both through the exact static evaluation code path.
+            dynamics = None
+        object.__setattr__(self, "dynamics", dynamics)
+        if self.dynamics is not None:
+            iterative = [
+                p.key
+                for p in self.routing.policies
+                if getattr(POLICIES.get(p.name), "iterative", False)
+            ]
+            if iterative:
+                raise SpecValidationError(
+                    f"dynamics {self.dynamics.name!r} cannot evaluate iterative "
+                    f"policies {iterative}: one environment step spans many "
+                    "edge sub-steps, so there is no single per-step network "
+                    "to score against — use one-shot policies instead"
                 )
         if "throughput" not in self.evaluation.metrics and not (
             self.routing.policies or self.routing.strategies
@@ -469,7 +547,7 @@ class ScenarioSpec:
     # -- serialisation -------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "description": self.description,
             "topology": self.topology.to_dict(),
@@ -478,6 +556,12 @@ class ScenarioSpec:
             "training": self.training.to_dict(),
             "evaluation": self.evaluation.to_dict(),
         }
+        # Omitted at the default (None, i.e. static) per the spec-hash
+        # stability rule: an always-present key would silently orphan every
+        # pre-existing ResultStore/LPOptimumStore entry.
+        if self.dynamics is not None:
+            data["dynamics"] = self.dynamics.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ScenarioSpec":
@@ -555,5 +639,6 @@ __all__ = [
     "RoutingSpec",
     "TrainingSpec",
     "EvaluationSpec",
+    "DynamicsSpec",
     "ScenarioSpec",
 ]

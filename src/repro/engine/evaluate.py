@@ -34,6 +34,7 @@ from repro.engine.simulator_batch import destination_link_loads_sequence
 from repro.envs.iterative_env import IterativeRoutingEnv
 from repro.envs.reward import RewardComputer
 from repro.envs.routing_env import RoutingEnv
+from repro.graphs.dynamics import NetworkTimeline
 from repro.graphs.network import Network
 from repro.routing.strategy import DestinationRouting, RoutingStrategy
 from repro.traffic.sequences import DemandSequence
@@ -146,15 +147,21 @@ def warm_lp_cache(
     reward_computer: RewardComputer,
     memory_length: int = 0,
     workers: int = 1,
+    timeline: Optional[NetworkTimeline] = None,
 ) -> int:
     """Presolve the LP optimum for every distinct post-warmup demand matrix.
 
-    Returns the number of distinct nonzero matrices ensured present in the
-    cache.  Cyclical sequences repeat a small block of matrices, so
-    deduplicating before the rollout avoids interleaving LP solves with
-    policy inference.
+    Returns the number of distinct nonzero (network, matrix) pairs ensured
+    present in the cache.  Cyclical sequences repeat a small block of
+    matrices, so deduplicating before the rollout avoids interleaving LP
+    solves with policy inference.
 
-    With ``workers > 1`` the matrices still missing after the in-memory and
+    ``timeline`` keys the warm set by the network actually in force at
+    each step, so a dynamic scenario presolves against its perturbed
+    variants (cached under their delta fingerprints) rather than the base
+    graph; ``None`` is the static workload.
+
+    With ``workers > 1`` the pairs still missing after the in-memory and
     on-disk caches are consulted fan out over a ``ProcessPoolExecutor``;
     results merge back through ``reward_computer.cache.put`` (persisting to
     the optimum store when one is configured).  An
@@ -163,41 +170,51 @@ def warm_lp_cache(
     """
     if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
         raise ValueError(f"workers must be a positive int, got {workers!r}")
-    seen: set[bytes] = set()
-    distinct: list[np.ndarray] = []
+    seen: set[tuple[int, bytes]] = set()
+    distinct: list[tuple[Network, np.ndarray]] = []
     for sequence in sequences:
         for step in range(memory_length, len(sequence)):
+            net = network if timeline is None else timeline.network_at(step)
             matrix = sequence.matrix(step)
-            key = matrix.tobytes()
+            key = (id(net), matrix.tobytes())
             if key in seen:
                 continue
             seen.add(key)
             if np.any(matrix > 0.0):
-                distinct.append(matrix)
+                distinct.append((net, matrix))
 
     cache = reward_computer.cache
     if workers == 1 or len(distinct) <= 1:
-        for matrix in distinct:
-            cache.optimal_max_utilisation(network, matrix)
+        for net, matrix in distinct:
+            cache.optimal_max_utilisation(net, matrix)
         return len(distinct)
 
-    pending = [m for m in distinct if cache.peek(network, m) is None]
+    pending = [(net, m) for net, m in distinct if cache.peek(net, m) is None]
     if pending:
         from concurrent.futures import ProcessPoolExecutor
 
-        payload = (
-            network.num_nodes,
-            network.edges,
-            np.asarray(network.capacities).copy(),
-            network.name,
-        )
-        worker_count = min(workers, len(pending))
-        chunks = [pending[i::worker_count] for i in range(worker_count)]
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            futures = [pool.submit(_warm_solve_chunk, payload, chunk) for chunk in chunks]
-            for chunk, future in zip(chunks, futures):
-                for matrix, optimum in zip(chunk, future.result()):
-                    cache.put(network, matrix, optimum)
+        # One submission wave per distinct network (a static workload is a
+        # single wave, chunked exactly as before); variants reconstruct
+        # cheaply in the workers from plain constructor arguments.
+        waves: dict[int, tuple[Network, list[np.ndarray]]] = {}
+        for net, matrix in pending:
+            waves.setdefault(id(net), (net, []))[1].append(matrix)
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            for net, matrices in waves.values():
+                payload = (
+                    net.num_nodes,
+                    net.edges,
+                    np.asarray(net.capacities).copy(),
+                    net.name,
+                )
+                worker_count = min(workers, len(matrices))
+                chunks = [matrices[i::worker_count] for i in range(worker_count)]
+                futures = [
+                    pool.submit(_warm_solve_chunk, payload, chunk) for chunk in chunks
+                ]
+                for chunk, future in zip(chunks, futures):
+                    for matrix, optimum in zip(chunk, future.result()):
+                        cache.put(net, matrix, optimum)
     return len(distinct)
 
 
@@ -212,14 +229,21 @@ def _rollout_policy(
     weight_scale: float,
     rewarder: RewardComputer,
     seed: SeedLike,
+    timeline: Optional[NetworkTimeline] = None,
 ) -> EvaluationResult:
     """Deterministically roll the policy over every sequence once.
 
     Uses the real environments (round-robin sequence order, mean actions),
     so results are identical to stepping them by hand — only the reward
-    path underneath is vectorized.
+    path underneath is vectorized.  ``timeline`` scores each step against
+    the network in force at that step (one-shot policies only).
     """
     if iterative:
+        if timeline is not None:
+            raise ValueError(
+                "iterative policies cannot evaluate dynamic scenarios "
+                "(their sub-step loop is bound to one edge set)"
+            )
         env = IterativeRoutingEnv(
             network,
             sequences,
@@ -239,6 +263,7 @@ def _rollout_policy(
             reward_computer=rewarder,
             sample_sequences=False,
             seed=seed,
+            dynamics=timeline,
         )
     rng = rng_from_seed(seed)
     ratios: list[float] = []
@@ -251,6 +276,28 @@ def _rollout_policy(
             if "utilisation_ratio" in info:
                 ratios.append(info["utilisation_ratio"])
     return EvaluationResult(tuple(ratios))
+
+
+DynamicsFactory = Callable[[Network, int], NetworkTimeline]
+
+
+def _group_timeline(
+    dynamics: Optional[DynamicsFactory],
+    network: Network,
+    sequences: list[DemandSequence],
+) -> tuple[Optional[NetworkTimeline], list[DemandSequence]]:
+    """Build this group's timeline and apply its demand overlay.
+
+    Returns ``(None, sequences)`` — the untouched input — when there is no
+    dynamics factory or the factory produces a trivial timeline, so the
+    static evaluation path stays bit-identical object for object.
+    """
+    if dynamics is None or not sequences:
+        return None, sequences
+    timeline = dynamics(network, max(len(s) for s in sequences))
+    if timeline.is_trivial:
+        return None, sequences
+    return timeline, [timeline.transform_sequence(s) for s in sequences]
 
 
 def batch_evaluate(
@@ -266,6 +313,7 @@ def batch_evaluate(
     seed: SeedLike = 0,
     backend: str = "auto",
     lp_workers: int = 1,
+    dynamics: Optional[DynamicsFactory] = None,
 ) -> BatchEvaluationResult:
     """Evaluate one policy over many (network, demand-sequence) workloads.
 
@@ -297,6 +345,13 @@ def batch_evaluate(
     lp_workers:
         Worker processes for the LP pre-warm pass (see
         :func:`warm_lp_cache`); ``1`` solves serially in-process.
+    dynamics:
+        Optional factory ``(network, length) -> NetworkTimeline`` making
+        the scenario time-varying: each group's rollouts score step ``t``
+        against the timeline's network at ``t`` (with its demand overlay
+        applied), and the warm pass presolves the perturbed variants under
+        their delta fingerprints.  ``None`` is the static path, bit for
+        bit.
 
     Returns
     -------
@@ -307,7 +362,15 @@ def batch_evaluate(
     results = []
     with default_backend(backend):
         for network, sequences in _as_groups(networks, traffic_sequences):
-            warm_lp_cache(network, sequences, rewarder, memory_length, workers=lp_workers)
+            timeline, sequences = _group_timeline(dynamics, network, sequences)
+            warm_lp_cache(
+                network,
+                sequences,
+                rewarder,
+                memory_length,
+                workers=lp_workers,
+                timeline=timeline,
+            )
             results.append(
                 _rollout_policy(
                     policy,
@@ -319,9 +382,32 @@ def batch_evaluate(
                     weight_scale=weight_scale,
                     rewarder=rewarder,
                     seed=seed,
+                    timeline=timeline,
                 )
             )
     return BatchEvaluationResult(tuple(results))
+
+
+def _routing_ratios(
+    routing: Union[RoutingStrategy, Callable[[Network], RoutingStrategy]],
+    network: Network,
+    stacked: np.ndarray,
+    rewarder: RewardComputer,
+    backend: str,
+) -> tuple:
+    """Utilisation ratios of one strategy over stacked demands on one network."""
+    strategy = routing(network) if callable(routing) else routing
+    if isinstance(strategy, DestinationRouting):
+        loads = destination_link_loads_sequence(
+            network, strategy.destination_table(), stacked, backend=backend
+        )
+        utilisations = (loads / network.capacities).max(axis=1)
+        return tuple(
+            rewarder.ratio_from_achieved(network, u, dm)
+            for u, dm in zip(utilisations, stacked)
+        )
+    with default_backend(backend):
+        return tuple(rewarder.utilisation_ratio(network, strategy, dm) for dm in stacked)
 
 
 def batch_evaluate_routing(
@@ -332,6 +418,7 @@ def batch_evaluate_routing(
     memory_length: int = 5,
     reward_computer: Optional[RewardComputer] = None,
     backend: str = "auto",
+    dynamics: Optional[DynamicsFactory] = None,
 ) -> BatchEvaluationResult:
     """Evaluate a fixed routing over whole demand sequences, batched.
 
@@ -341,34 +428,51 @@ def batch_evaluate_routing(
     multi-RHS solve per destination covers every post-warmup demand matrix
     — on the sparse ``backend`` that is one shared ``splu`` factorisation
     per destination.
+
+    With ``dynamics`` (a factory ``(network, length) -> NetworkTimeline``)
+    the post-warmup steps regroup by the network in force at each step:
+    the strategy is rebuilt per distinct variant — routing reacts to the
+    perturbation, exactly as a deployed protocol would — and each
+    variant's steps still share one factorised multi-RHS solve, so a
+    link-flap timeline costs one extra factorisation, not one per step.
     """
     check_backend(backend)
     rewarder = reward_computer or RewardComputer()
     results = []
     for network, sequences in _as_groups(networks, traffic_sequences):
-        strategy = routing(network) if callable(routing) else routing
-        demands = [
-            sequence.matrix(step)
+        timeline, sequences = _group_timeline(dynamics, network, sequences)
+        if timeline is not None and not callable(routing):
+            raise ValueError(
+                "a dynamic scenario rebuilds the strategy per perturbed network; "
+                "pass a factory (network -> RoutingStrategy), not a concrete strategy"
+            )
+        entries = [
+            (step, sequence.matrix(step))
             for sequence in sequences
             for step in range(memory_length, len(sequence))
         ]
-        if not demands:
+        if not entries:
             results.append(EvaluationResult(()))
             continue
-        stacked = np.stack(demands)
-        if isinstance(strategy, DestinationRouting):
-            loads = destination_link_loads_sequence(
-                network, strategy.destination_table(), stacked, backend=backend
+        if timeline is None:
+            stacked = np.stack([matrix for _, matrix in entries])
+            results.append(
+                EvaluationResult(_routing_ratios(routing, network, stacked, rewarder, backend))
             )
-            utilisations = (loads / network.capacities).max(axis=1)
-            ratios = tuple(
-                rewarder.ratio_from_achieved(network, u, dm)
-                for u, dm in zip(utilisations, stacked)
-            )
-        else:
-            with default_backend(backend):
-                ratios = tuple(
-                    rewarder.utilisation_ratio(network, strategy, dm) for dm in stacked
-                )
-        results.append(EvaluationResult(ratios))
+            continue
+        # Bucket the flattened steps by the variant network in force,
+        # evaluate each bucket on the factorised path, then scatter the
+        # ratios back into original (sequence, step) order.
+        buckets: dict[int, tuple[Network, list[int]]] = {}
+        for index, (step, _) in enumerate(entries):
+            variant = timeline.network_at(step)
+            buckets.setdefault(id(variant), (variant, []))[1].append(index)
+        ratios: list = [None] * len(entries)
+        for variant, indices in buckets.values():
+            stacked = np.stack([entries[i][1] for i in indices])
+            for i, ratio in zip(
+                indices, _routing_ratios(routing, variant, stacked, rewarder, backend)
+            ):
+                ratios[i] = ratio
+        results.append(EvaluationResult(tuple(ratios)))
     return BatchEvaluationResult(tuple(results))

@@ -9,6 +9,15 @@ and flow simulation) runs on the vectorized batch engine
 (:mod:`repro.engine`), which processes all destinations in one stacked
 array program per step.
 
+Dynamic scenarios pass a *different* network per step (the one a
+:class:`~repro.graphs.dynamics.NetworkTimeline` puts in force): both the
+achieved utilisation and the LP-optimum denominator are then measured on
+that step's perturbed variant.  Cache keying stays correct for free —
+variants carry a delta fingerprint (``sha256(base || delta)``) in the
+``_lp_fingerprint`` slot every keyed cache reads, so a five-step outage
+hits the same cached optimum five times and never collides with the base
+graph's entries.
+
 Action mappings
 ---------------
 Policies emit raw real values; softmin routing needs strictly positive

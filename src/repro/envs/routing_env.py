@@ -26,6 +26,7 @@ from repro.envs.reward import (
     RewardComputer,
     weights_from_action,
 )
+from repro.graphs.dynamics import NetworkTimeline
 from repro.graphs.network import Network
 from repro.rl.env import Env
 from repro.rl.spaces import Box
@@ -63,6 +64,13 @@ class RoutingEnv(Env):
         Optionally share an LP cache across environments.
     seed:
         Sequence-selection randomness.
+    dynamics:
+        Optional :class:`~repro.graphs.dynamics.NetworkTimeline` putting a
+        different network in force at each step: the observation carries
+        that step's network (so graph-based policies emit correctly-sized
+        per-edge actions) and the reward — agent utilisation *and* the LP
+        optimum denominator — is measured on it.  ``None`` (the default)
+        is the static environment, bit for bit.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class RoutingEnv(Env):
         reward_computer: Optional[RewardComputer] = None,
         sample_sequences: bool = True,
         seed: SeedLike = None,
+        dynamics: Optional[NetworkTimeline] = None,
     ):
         if not sequences:
             raise ValueError("need at least one demand sequence")
@@ -90,6 +99,16 @@ class RoutingEnv(Env):
                 )
         if softmin_gamma <= 0.0:
             raise ValueError("softmin_gamma must be positive")
+        if dynamics is not None:
+            if dynamics.base is not network:
+                raise ValueError("dynamics timeline was built for a different network")
+            for seq in sequences:
+                if len(seq) > len(dynamics):
+                    raise ValueError(
+                        f"sequence length {len(seq)} exceeds dynamics timeline "
+                        f"of length {len(dynamics)}"
+                    )
+        self.dynamics = dynamics
         self.network = network
         self.sequences = list(sequences)
         self.memory_length = int(memory_length)
@@ -119,9 +138,14 @@ class RoutingEnv(Env):
         self._round_robin += 1
         return sequence
 
+    def _network_at(self, step: int) -> Network:
+        if self.dynamics is None:
+            return self.network
+        return self.dynamics.network_at(step)
+
     def _observation(self) -> GraphObservation:
         history = self._sequence.history(self._step_index - 1, self.memory_length)
-        return GraphObservation(self.network, history / self.demand_scale)
+        return GraphObservation(self._network_at(self._step_index), history / self.demand_scale)
 
     # ------------------------------------------------------------------
     def reset(self) -> GraphObservation:
@@ -133,14 +157,15 @@ class RoutingEnv(Env):
         if self._sequence is None:
             raise RuntimeError("call reset() before step()")
         action = np.asarray(action, dtype=np.float64)
-        if action.shape != (self.network.num_edges,):
+        network = self._network_at(self._step_index)
+        if action.shape != (network.num_edges,):
             raise ValueError(
-                f"action has shape {action.shape}, expected ({self.network.num_edges},)"
+                f"action has shape {action.shape}, expected ({network.num_edges},)"
             )
         weights = weights_from_action(action, self.weight_scale)
         demand = self._sequence.matrix(self._step_index)
         reward, info = self.rewarder.reward(
-            self.network, weights, self.softmin_gamma, demand
+            network, weights, self.softmin_gamma, demand
         )
         self._step_index += 1
         done = self._step_index >= len(self._sequence)

@@ -26,6 +26,8 @@ Usage::
     # Discover what the registries provide
     python -m repro.experiments.runner list scenarios
     python -m repro.experiments.runner list topologies
+    python -m repro.experiments.runner list dynamics --json
+    python -m repro.experiments.runner describe dynamics link_flap
 
     # Time the batch engine against the scalar reference (preset-sized)
     python -m repro.experiments.runner bench --preset standard
@@ -69,7 +71,7 @@ from repro.experiments.reporting import (
 )
 
 LEGACY_EXPERIMENTS = ("fig6", "fig7", "fig8", "throughput", "all")
-LIST_AXES = ("topologies", "traffic", "strategies", "policies", "scenarios", "all")
+LIST_AXES = ("topologies", "traffic", "strategies", "policies", "dynamics", "scenarios", "all")
 
 
 def _add_scale_options(parser: argparse.ArgumentParser, preset_default=None) -> None:
@@ -308,6 +310,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_p = sub.add_parser("list", help="list registered components or scenarios")
     list_p.add_argument("axis", nargs="?", default="all", choices=LIST_AXES)
+    list_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable catalog (name, description, docstring, "
+        "accepted params with defaults) instead of the text listing",
+    )
+
+    describe_p = sub.add_parser(
+        "describe",
+        help="show one component's docstring and accepted params with defaults",
+    )
+    describe_p.add_argument("axis", choices=[a for a in LIST_AXES if a != "all"])
+    describe_p.add_argument("name", help="component name on that axis (see 'list')")
+    describe_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the record as JSON instead of formatted text",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -502,14 +524,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _axis_registry(axis: str):
+    return SCENARIOS if axis == "scenarios" else registry_for(axis)
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     axes = [a for a in LIST_AXES if a != "all"] if args.axis == "all" else [args.axis]
+    if args.as_json:
+        print(json.dumps({axis: _axis_registry(axis).catalog() for axis in axes}, indent=2))
+        return 0
     for axis in axes:
-        registry = SCENARIOS if axis == "scenarios" else registry_for(axis)
+        registry = _axis_registry(axis)
         print(f"{axis} ({len(registry)}):")
         for name, description in registry.items():
             print(f"  {name:<24} {description}")
         print()
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    entry = _axis_registry(args.axis).describe_entry(args.name)
+    if args.as_json:
+        print(json.dumps({"axis": args.axis, **entry}, indent=2))
+        return 0
+    print(f"{args.axis}/{entry['name']}: {entry['description']}")
+    if entry["params"]:
+        print("params:")
+        for param in entry["params"]:
+            if param["required"]:
+                print(f"  {param['name']:<18} (required)")
+            else:
+                print(f"  {param['name']:<18} default={json.dumps(param['default'])}")
+    if entry["doc"]:
+        print()
+        print(entry["doc"])
     return 0
 
 
@@ -601,6 +649,8 @@ def main(argv=None) -> int:
             return _cmd_serve(args)
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "describe":
+            return _cmd_describe(args)
         if args.command == "bench":
             return _cmd_bench(args)
         return _cmd_legacy(args)

@@ -86,6 +86,14 @@ class ServiceEngine:
                     "the routing service requires a single-topology scenario "
                     f"(topology {scenario.topology.name!r} builds a pool)"
                 )
+            # ServiceSpec already rejects dynamic scenarios; guard again in
+            # case an engine is constructed around the spec layer, so a
+            # time-varying scenario is never scored on its base graph.
+            if run.dynamics is not None:
+                raise SpecValidationError(
+                    "the routing service cannot serve a dynamic scenario; "
+                    "evaluate it offline with run()/sweep()"
+                )
             # Swap in a rewarder wired to the private structure cache before
             # anything trains or warms, so every LP this deployment solves
             # lands in engine-owned state.
