@@ -85,8 +85,19 @@ from repro.api.service import (
     ServiceSpec,
 )
 from repro.api import client  # noqa: F401 - expose api.client.Client
-from repro.api.client import Client, ServiceError
-from repro.service.server import ServiceServer, serve
+from repro.api.client import (
+    Client,
+    ServiceError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+)
+from repro.service.server import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServiceServer,
+    TickTimeoutError,
+    serve,
+)
 
 del _components
 
@@ -140,6 +151,11 @@ __all__ = [
     "RouteResponse",
     "Client",
     "ServiceError",
+    "ServiceTimeoutError",
+    "ServiceUnavailableError",
+    "DeadlineExceededError",
+    "ServiceOverloadedError",
+    "TickTimeoutError",
     "ServiceServer",
     "serve",
 ]

@@ -9,16 +9,36 @@ full :class:`~repro.api.results.ScenarioResult`; ``reload`` takes anything
 one connection per call, so a single ``Client`` is safe to share across
 threads (the loadtest harness does).
 
-Failures surface as :class:`ServiceError` carrying the HTTP status and the
-server's message — a 400 names the validation problem, a 503 means the
-service is draining for shutdown.
+Resilience
+----------
+Idempotent calls (``evaluate``, ``run``, ``health``, ``stats``) are
+retried up to ``max_retries`` times on *retryable* failures — connection
+refused/reset and typed 503 load-shedding — with jittered exponential
+backoff (``backoff_base * 2^attempt``, x0.5–1.0 jitter).  ``reload`` is
+not idempotent and is never auto-retried, but a connection refused during
+the engine swap still raises the retryable
+:class:`ServiceUnavailableError` so callers can retry deliberately.
+
+``request_deadline_s`` bounds each *call* (all attempts + backoff
+together) and is propagated to the server as an absolute-epoch
+``X-Deadline`` header, so the server stops working on a request its
+client has already given up on.
+
+Failures surface as :class:`ServiceError` (or a subclass) carrying the
+HTTP status and the server's message — a 400 names the validation
+problem, a :class:`ServiceUnavailableError` (503/unreachable) is safe to
+retry, a :class:`ServiceTimeoutError` (504/deadline) is not.  Non-JSON
+error pages (e.g. HTML 502s from a proxy) surface a decoded body snippet
+instead of an opaque error.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -36,11 +56,52 @@ class ServiceError(RuntimeError):
     status:
         HTTP status code, or 0 when the request never got an answer
         (connection refused, timeout).
+    retryable:
+        Whether retrying the identical request can reasonably succeed.
     """
+
+    retryable = False
 
     def __init__(self, message: str, status: int = 0):
         super().__init__(message)
         self.status = status
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is unreachable or shedding load (503 / no answer).
+
+    Retryable: the condition is transient — the server is restarting,
+    mid-reload, or saturated and asking for backoff.
+    """
+
+    retryable = True
+
+
+class ServiceTimeoutError(ServiceError):
+    """The request's deadline expired (client-side, or a server 504).
+
+    Not retryable by the automatic loop: the deadline budget is already
+    spent; the caller decides whether a fresh deadline is worth it.
+    """
+
+    retryable = False
+
+
+def _check_positive(name: str, value, *, integer: bool = False, allow_zero: bool = False):
+    if integer:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"{name} must be an int, got {value!r}")
+    else:
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            raise ValueError(f"{name} must be a number, got {value!r}") from None
+        if not np.isfinite(value):
+            raise ValueError(f"{name} must be finite, got {value!r}")
+    if value < 0 or (value == 0 and not allow_zero):
+        bound = ">= 0" if allow_zero else "> 0"
+        raise ValueError(f"{name} must be {bound}, got {value!r}")
+    return value
 
 
 class Client:
@@ -51,52 +112,81 @@ class Client:
     host / port:
         Where the service listens (``ServiceServer.host`` / ``.port``).
     timeout:
-        Per-request socket timeout in seconds.  ``run()`` and ``reload()``
+        Per-attempt socket timeout in seconds.  ``run()`` and ``reload()``
         can legitimately take much longer than ``evaluate()`` — they
         train/execute whole scenarios — so those calls stretch the
         timeout by :attr:`SLOW_CALL_FACTOR`.
+    max_retries:
+        Extra attempts (beyond the first) for idempotent calls hitting a
+        retryable failure.  0 disables retries.
+    backoff_base:
+        Base sleep for the jittered exponential backoff between retries:
+        attempt ``i`` sleeps ``backoff_base * 2^i`` scaled by a uniform
+        x0.5–1.0 jitter so synchronized clients fan out.
+    request_deadline_s:
+        Optional wall-clock budget for one *call* — all attempts and
+        backoff sleeps together — propagated to the server as an
+        ``X-Deadline`` header.  ``None`` keeps the per-attempt socket
+        timeout as the only bound.
     """
 
     #: Multiplier applied to ``timeout`` for run/reload calls.
     SLOW_CALL_FACTOR = 20.0
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8047, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8047,
+        timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        request_deadline_s: Optional[float] = None,
+    ):
         if not isinstance(host, str) or not host:
             raise ValueError(f"host must be a non-empty string, got {host!r}")
         if isinstance(port, bool) or not isinstance(port, int) or not 1 <= port <= 65535:
             raise ValueError(f"port must be an int in [1, 65535], got {port!r}")
         self.host = host
         self.port = port
-        self.timeout = float(timeout)
+        self.timeout = _check_positive("timeout", timeout)
+        self.max_retries = _check_positive("max_retries", max_retries, integer=True, allow_zero=True)
+        self.backoff_base = _check_positive("backoff_base", backoff_base, allow_zero=True)
+        self.request_deadline_s = (
+            None
+            if request_deadline_s is None
+            else _check_positive("request_deadline_s", request_deadline_s)
+        )
 
     def __repr__(self) -> str:
         return f"Client({self.host!r}, port={self.port})"
 
     # -- transport -----------------------------------------------------
 
-    def _request(
+    def _request_once(
         self,
         method: str,
         path: str,
-        payload: Optional[dict] = None,
-        timeout: Optional[float] = None,
+        body: Optional[bytes],
+        timeout: float,
+        deadline: Optional[float],
     ) -> dict:
-        body = json.dumps(payload).encode("utf-8") if payload is not None else None
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=timeout if timeout is not None else self.timeout
-        )
+        headers = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        if deadline is not None:
+            headers["X-Deadline"] = repr(deadline)
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
         try:
-            connection.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"} if body else {},
-            )
+            connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             raw = response.read()
             status = response.status
         except (OSError, socket.timeout, http.client.HTTPException) as exc:
-            raise ServiceError(
+            # Connection refused, reset mid-answer, socket timeout: the
+            # service may simply be restarting or swapping engines on
+            # /reload — typed retryable, so callers (and the retry loop,
+            # for idempotent calls) know trying again is sound.
+            raise ServiceUnavailableError(
                 f"cannot reach service at {self.host}:{self.port}: {exc}"
             ) from None
         finally:
@@ -104,15 +194,64 @@ class Client:
         try:
             data = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
+            # A proxy's HTML 502 page (or any non-JSON body) should name
+            # itself, not hide behind "non-JSON": surface a snippet.
+            snippet = raw[:200].decode("utf-8", errors="replace").strip()
             raise ServiceError(
-                f"service returned non-JSON (status {status})", status=status
+                f"service returned non-JSON (status {status}): {snippet!r}",
+                status=status,
             ) from None
         if status >= 400:
             message = data.get("error") if isinstance(data, dict) else None
-            raise ServiceError(
-                message or f"service returned status {status}", status=status
-            )
+            message = message or f"service returned status {status}"
+            if status == 503:
+                raise ServiceUnavailableError(message, status=status)
+            if status == 504:
+                raise ServiceTimeoutError(message, status=status)
+            raise ServiceError(message, status=status)
         return data
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        timeout: Optional[float] = None,
+        retry: bool = True,
+    ) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        timeout = self.timeout if timeout is None else timeout
+        deadline = (
+            None
+            if self.request_deadline_s is None
+            else time.time() + self.request_deadline_s
+        )
+        attempts = (self.max_retries + 1) if retry else 1
+        for attempt in range(attempts):
+            attempt_timeout = timeout
+            if deadline is not None:
+                remaining = deadline - time.time()
+                if remaining <= 0.0:
+                    raise ServiceTimeoutError(
+                        f"deadline of {self.request_deadline_s:g}s expired before "
+                        f"{method} {path} got an answer"
+                    )
+                attempt_timeout = min(timeout, remaining)
+            try:
+                return self._request_once(method, path, body, attempt_timeout, deadline)
+            except ServiceError as exc:
+                if not exc.retryable or attempt + 1 >= attempts:
+                    raise
+                backoff = self.backoff_base * (2**attempt) * (0.5 + 0.5 * random.random())
+                if deadline is not None:
+                    remaining = deadline - time.time()
+                    if remaining <= backoff:
+                        raise ServiceTimeoutError(
+                            f"deadline of {self.request_deadline_s:g}s exhausted "
+                            f"after {attempt + 1} attempt(s) at {method} {path}: {exc}"
+                        ) from exc
+                time.sleep(backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- API -----------------------------------------------------------
 
@@ -134,7 +273,8 @@ class Client:
         """Evaluate one demand matrix against the deployed routings.
 
         Arguments mirror :class:`~repro.api.service.RouteRequest` (which
-        validates locally before anything goes on the wire).
+        validates locally before anything goes on the wire).  Evaluation
+        is idempotent, so retryable failures are retried with backoff.
         """
         request = RouteRequest(
             demand=demand,
@@ -161,6 +301,11 @@ class Client:
         Accepts a :class:`~repro.api.service.ServiceSpec` mapping, a
         :class:`ScenarioSpec` (or its mapping), or a registered scenario
         name.  Blocks until the new engine is built and swapped in.
+
+        Not auto-retried (a reload is not idempotent: the second attempt
+        could interleave with another client's), but a connection refused
+        mid-swap still raises the retryable :class:`ServiceUnavailableError`
+        so deliberate caller-side retries stay easy.
         """
         if isinstance(spec, str):
             payload: dict = {"scenario": spec}
@@ -171,8 +316,17 @@ class Client:
         else:
             payload = spec.to_dict()  # ServiceSpec (avoids importing it here)
         return self._request(
-            "POST", "/reload", payload, timeout=self.timeout * self.SLOW_CALL_FACTOR
+            "POST",
+            "/reload",
+            payload,
+            timeout=self.timeout * self.SLOW_CALL_FACTOR,
+            retry=False,
         )
 
 
-__all__ = ["Client", "ServiceError"]
+__all__ = [
+    "Client",
+    "ServiceError",
+    "ServiceTimeoutError",
+    "ServiceUnavailableError",
+]

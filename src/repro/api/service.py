@@ -93,6 +93,15 @@ class ServiceSpec:
     result_store:
         Optional directory for a :class:`repro.api.store.ResultStore`;
         when set, full ``/run`` results are memoised there per spec hash.
+    max_queue_depth:
+        Load-shedding bound: the maximum number of requests waiting for an
+        evaluation tick before new submissions are rejected with a typed
+        503 (``ServiceOverloadedError``) instead of queueing unboundedly.
+    tick_timeout_s:
+        Optional per-tick deadline.  A tick exceeding it answers its
+        in-flight requests with a typed 504 (``TickTimeoutError``) instead
+        of hanging every waiter; ``None`` (the default) disables the
+        watchdog entirely — the tick runs inline with zero extra threads.
     """
 
     scenario: ScenarioSpec
@@ -101,6 +110,8 @@ class ServiceSpec:
     workers: int = 8
     batch_window_ms: float = 2.0
     result_store: Optional[str] = None
+    max_queue_depth: int = 256
+    tick_timeout_s: Optional[float] = None
 
     def __post_init__(self):
         object.__setattr__(self, "scenario", _coerce_scenario(self.scenario))
@@ -152,6 +163,28 @@ class ServiceSpec:
                 f"service.result_store must be a non-empty path string or None, "
                 f"got {self.result_store!r}"
             )
+        if (
+            isinstance(self.max_queue_depth, bool)
+            or not isinstance(self.max_queue_depth, int)
+            or self.max_queue_depth < 1
+        ):
+            raise SpecValidationError(
+                f"service.max_queue_depth must be an int >= 1, "
+                f"got {self.max_queue_depth!r}"
+            )
+        if self.tick_timeout_s is not None:
+            try:
+                tick_timeout = float(self.tick_timeout_s)
+            except (TypeError, ValueError):
+                raise SpecValidationError(
+                    f"service.tick_timeout_s must be a number or None, "
+                    f"got {self.tick_timeout_s!r}"
+                ) from None
+            if not np.isfinite(tick_timeout) or tick_timeout <= 0.0:
+                raise SpecValidationError(
+                    f"service.tick_timeout_s must be finite and > 0, got {tick_timeout}"
+                )
+            object.__setattr__(self, "tick_timeout_s", tick_timeout)
 
     # -- serialisation -------------------------------------------------
 
@@ -171,6 +204,10 @@ class ServiceSpec:
             data["batch_window_ms"] = self.batch_window_ms
         if self.result_store is not None:
             data["result_store"] = self.result_store
+        if self.max_queue_depth != 256:
+            data["max_queue_depth"] = self.max_queue_depth
+        if self.tick_timeout_s is not None:
+            data["tick_timeout_s"] = self.tick_timeout_s
         return data
 
     @classmethod

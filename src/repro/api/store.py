@@ -10,8 +10,10 @@ two-level to keep directories small at scale::
         <spec_hash>.json    # {"format": 1, "hash": ..., "result": {...}}
 
 Writes are atomic (temp file + ``os.replace``) so an interrupted sweep
-never leaves a truncated entry; unreadable or corrupt entries read as
-cache misses and are overwritten by the next ``put``.  Because the hash
+never leaves a truncated entry; a corrupt entry reads as a cache miss and
+is *quarantined* — renamed to ``<spec_hash>.json.corrupt`` with a one-line
+warning — so the evidence survives while ``hashes()`` and the next ``put``
+behave as if the entry never existed.  Because the hash
 covers the *entire* spec — topology, traffic, routing, training overrides,
 metrics and seeds — any change to an experiment recomputes, while repeated
 sweeps over the same grid resume from whatever already finished.
@@ -25,7 +27,13 @@ from typing import Optional, Union
 
 from repro.api.results import ScenarioResult
 from repro.api.spec import ScenarioSpec, SpecValidationError
-from repro.utils.caching import atomic_write_text, sharded_digests, sharded_entry_path
+from repro.faults import fault_point
+from repro.utils.caching import (
+    atomic_write_text,
+    quarantine_entry,
+    sharded_digests,
+    sharded_entry_path,
+)
 
 #: Bump when the on-disk entry schema changes; older entries read as misses.
 STORE_FORMAT = 1
@@ -51,19 +59,33 @@ class ResultStore:
     def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
         """The stored result for ``spec``, or ``None`` on any miss.
 
-        Missing, truncated, corrupt and wrong-format entries all read as
-        misses — the caller recomputes and ``put`` replaces the entry.
+        A missing entry is a plain miss.  A *present but unreadable* entry
+        (truncated write from a crashed process, bad JSON, wrong format,
+        undecodable result) is quarantined — renamed to ``*.json.corrupt``
+        with a one-line warning — then reported as a miss, so the caller
+        recomputes and ``put`` rebuilds the entry without clobbering the
+        evidence.
         """
         path = self.path_for(spec)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            quarantine_entry(path, f"unreadable: {exc}")
+            return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            quarantine_entry(path, f"invalid JSON: {exc}")
             return None
         if not isinstance(data, dict) or data.get("format") != STORE_FORMAT:
+            quarantine_entry(path, f"unsupported entry format {data.get('format')!r}")
             return None
         try:
             return ScenarioResult.from_dict(data["result"])
-        except (KeyError, TypeError, ValueError, SpecValidationError):
+        except (KeyError, TypeError, ValueError, SpecValidationError) as exc:
+            quarantine_entry(path, f"undecodable result: {exc}")
             return None
 
     def put(self, spec: ScenarioSpec, result: ScenarioResult) -> Path:
@@ -73,6 +95,7 @@ class ResultStore:
             {"format": STORE_FORMAT, "hash": digest, "result": result.to_dict()},
             indent=2,
         )
+        fault_point("store.put")
         return atomic_write_text(self.path_for(digest), payload)
 
     def __contains__(self, spec: ScenarioSpec) -> bool:

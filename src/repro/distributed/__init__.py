@@ -24,13 +24,14 @@ writes byte-identical store entries.
 """
 
 from repro.distributed.queue import QueueError, Task, TaskQueue
-from repro.distributed.worker import WorkerStats, run_worker
+from repro.distributed.worker import WorkerShutdown, WorkerStats, run_worker
 from repro.distributed.coordinator import run_queue_sweep
 
 __all__ = [
     "QueueError",
     "Task",
     "TaskQueue",
+    "WorkerShutdown",
     "WorkerStats",
     "run_worker",
     "run_queue_sweep",

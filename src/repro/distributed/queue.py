@@ -48,6 +48,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
+from repro.faults import fault_point
 from repro.utils.caching import atomic_write_text, sharded_digests, sharded_entry_path
 
 #: Bump when the on-disk task/lease schema changes.
@@ -300,6 +301,7 @@ class TaskQueue:
         lexicographically first task).
         """
         now = time.time() if now is None else now
+        fault_point("queue.claim")
         self.recover(now=now)
         candidates = sharded_digests(self._pending)
         random.shuffle(candidates)
@@ -346,6 +348,7 @@ class TaskQueue:
         """Renew the lease; ``None`` means it was stolen (keep going anyway —
         the eventual ``ResultStore.put`` is idempotent — but stop renewing)."""
         now = time.time() if now is None else now
+        fault_point("queue.heartbeat")
         active_path = self._active / f"{task.digest}.json"
         record = _read_json(active_path)
         if record is None or record.get("worker") != self.worker_id:
@@ -363,6 +366,7 @@ class TaskQueue:
         lease — after a steal it belongs to someone else mid-execution.
         """
         now = time.time() if now is None else now
+        fault_point("queue.complete")
         atomic_write_text(
             sharded_entry_path(self._done, task.digest),
             json.dumps(
@@ -410,6 +414,28 @@ class TaskQueue:
         )
         self._release_if_held(task.digest)
         return "pending"
+
+    def requeue(self, task: Task, *, now: Optional[float] = None) -> bool:
+        """Gracefully hand a *healthy* claimed task back to the pool.
+
+        Unlike :meth:`release` this does **not** bump the attempt counter
+        or apply backoff — it is the shutdown path: a worker draining on
+        SIGTERM returns its in-flight task so another worker picks it up
+        immediately, without burning one of the task's ``max_attempts``.
+        Returns ``False`` (and does nothing) when the lease was already
+        stolen or the task already completed.
+        """
+        now = time.time() if now is None else now
+        active_path = self._active / f"{task.digest}.json"
+        record = _read_json(active_path)
+        if record is None or record.get("worker") != self.worker_id:
+            return False
+        if sharded_entry_path(self._done, task.digest).is_file():
+            self._release_if_held(task.digest)
+            return False
+        self._write_pending(task.digest, task.spec, attempts=task.attempts, not_before=now)
+        self._release_if_held(task.digest)
+        return True
 
     def recover(self, *, now: Optional[float] = None) -> list:
         """Requeue expired leases and adopt stale steal temps.

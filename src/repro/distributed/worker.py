@@ -18,6 +18,7 @@ stealer own the task's lifecycle.
 
 from __future__ import annotations
 
+import signal
 import threading
 import time
 import traceback
@@ -32,6 +33,19 @@ from repro.api.sweep import _execute
 from repro.distributed.queue import Task, TaskQueue
 
 
+class WorkerShutdown(BaseException):
+    """Raised in the worker's main thread by its SIGTERM/SIGINT handler.
+
+    Deliberately a ``BaseException``: the task-execution path catches
+    ``Exception`` to requeue failures, and a graceful shutdown must not be
+    recorded as a task failure (it would burn one of the task's attempts).
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"worker shutdown requested (signal {signum})")
+        self.signum = signum
+
+
 @dataclass
 class WorkerStats:
     """What one worker run did, for logs and tests."""
@@ -42,20 +56,28 @@ class WorkerStats:
     poisoned: int = 0
     recovered: int = 0
     lease_lost: int = 0
+    requeued: int = 0
+    interrupted: bool = False
     digests: list = field(default_factory=list)
 
     def summary(self) -> str:
+        drain = ", drained on signal" if self.interrupted else ""
         return (
             f"worker {self.worker_id} done: {self.executed} executed, "
             f"{self.failed} failed ({self.poisoned} poisoned), "
             f"{self.recovered} leases recovered, {self.lease_lost} leases lost"
+            f"{drain}"
         )
 
 
 def _heartbeat_loop(queue: TaskQueue, task: Task, stop: threading.Event, lost: threading.Event):
     interval = max(queue.lease_seconds / 3.0, 0.05)
     while not stop.wait(interval):
-        if queue.heartbeat(task) is None:
+        try:
+            renewed = queue.heartbeat(task)
+        except Exception:  # noqa: BLE001 - a transient FS error is a missed
+            continue  # beat, not a dead lease; the next renewal retries
+        if renewed is None:
             lost.set()
             return
 
@@ -72,6 +94,11 @@ def execute_task(
     ``state`` is ``"done"``, ``"pending"`` (failed, requeued with backoff)
     or ``"failed"`` (poisoned).  Exposed separately from the polling loop
     so tests drive single lifecycle steps deterministically.
+
+    The record phase (store write + done marker) is failure-hardened too:
+    if either raises, the task is released back to the pool exactly like an
+    execution failure — the store's atomic writes guarantee no partial
+    entry was exposed, and re-execution is idempotent.
     """
     stop, lost = threading.Event(), threading.Event()
     beat = threading.Thread(
@@ -87,8 +114,12 @@ def execute_task(
     finally:
         stop.set()
         beat.join()
-    store.put(ScenarioSpec.from_dict(task.spec), ScenarioResult.from_dict(result_dict))
-    queue.complete(task, duration=time.time() - started)
+    try:
+        store.put(ScenarioSpec.from_dict(task.spec), ScenarioResult.from_dict(result_dict))
+        queue.complete(task, duration=time.time() - started)
+    except Exception as exc:  # noqa: BLE001 - failed record must requeue too
+        error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}"
+        return queue.release(task, error), error, lost.is_set()
     return "done", None, lost.is_set()
 
 
@@ -105,6 +136,8 @@ def run_worker(
     wait_for_queue: float = 0.0,
     echo: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    handle_signals: bool = False,
+    max_claim_errors: int = 5,
 ) -> WorkerStats:
     """Drain tasks from a queue directory until told (or entitled) to stop.
 
@@ -126,6 +159,15 @@ def run_worker(
         launched before the coordinator.
     max_tasks:
         Execute at most this many tasks (used by benchmarks/tests).
+    handle_signals:
+        Install SIGTERM/SIGINT handlers (main thread only — the CLI path)
+        that drain gracefully: the in-flight task is handed back to the
+        pool via :meth:`TaskQueue.requeue` — no attempt burned, no lease
+        left to expire — and the loop exits with ``stats.interrupted``.
+    max_claim_errors:
+        Tolerate this many *consecutive* claim failures (transient
+        filesystem errors, injected faults) before giving up; any
+        successful claim resets the count.
     """
     queue = TaskQueue.open(
         directory,
@@ -141,38 +183,83 @@ def run_worker(
     stats = WorkerStats(worker_id=queue.worker_id)
     emit = log or (print if echo else (lambda _line: None))
 
+    previous_handlers: dict = {}
+    if handle_signals:
+
+        def _on_signal(signum, _frame):
+            raise WorkerShutdown(signum)
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[sig] = signal.signal(sig, _on_signal)
+
+    task: Optional[Task] = None
+    claim_errors = 0
     last_claim = time.time()
-    while True:
-        if max_tasks is not None and stats.executed + stats.failed >= max_tasks:
-            break
-        task = queue.claim()
-        if task is None:
-            if drain and queue.drained():
+    try:
+        while True:
+            if max_tasks is not None and stats.executed + stats.failed >= max_tasks:
                 break
-            if idle_exit is not None and time.time() - last_claim > idle_exit:
-                break
-            time.sleep(poll_interval)
-            continue
-        last_claim = time.time()
-        if task.attempts:
-            stats.recovered += 1
-        emit(f"worker {queue.worker_id} claimed {task.digest[:12]} (attempt {task.attempts + 1})")
-        state, error, lease_lost = execute_task(queue, store, task, echo=echo)
-        stats.digests.append(task.digest)
-        if lease_lost:
-            stats.lease_lost += 1
-        if state == "done":
-            stats.executed += 1
-            emit(f"worker {queue.worker_id} completed {task.digest[:12]}")
-        else:
-            stats.failed += 1
-            if state == "failed":
-                stats.poisoned += 1
+            task = None
+            try:
+                task = queue.claim()
+            except Exception as exc:  # noqa: BLE001 - transient claim faults
+                claim_errors += 1
+                if claim_errors >= max_claim_errors:
+                    raise
+                emit(
+                    f"worker {queue.worker_id} claim failed "
+                    f"({claim_errors}/{max_claim_errors}): {exc}"
+                )
+                time.sleep(poll_interval)
+                continue
+            claim_errors = 0
+            if task is None:
+                if drain and queue.drained():
+                    break
+                if idle_exit is not None and time.time() - last_claim > idle_exit:
+                    break
+                time.sleep(poll_interval)
+                continue
+            last_claim = time.time()
+            if task.attempts:
+                stats.recovered += 1
             emit(
-                f"worker {queue.worker_id} task {task.digest[:12]} -> {state}: "
-                f"{(error or '').splitlines()[0]}"
+                f"worker {queue.worker_id} claimed {task.digest[:12]} "
+                f"(attempt {task.attempts + 1})"
             )
+            state, error, lease_lost = execute_task(queue, store, task, echo=echo)
+            stats.digests.append(task.digest)
+            if lease_lost:
+                stats.lease_lost += 1
+            if state == "done":
+                stats.executed += 1
+                emit(f"worker {queue.worker_id} completed {task.digest[:12]}")
+            else:
+                stats.failed += 1
+                if state == "failed":
+                    stats.poisoned += 1
+                emit(
+                    f"worker {queue.worker_id} task {task.digest[:12]} -> {state}: "
+                    f"{(error or '').splitlines()[0]}"
+                )
+            task = None
+    except WorkerShutdown as shutdown:
+        stats.interrupted = True
+        if task is not None:
+            try:
+                if queue.requeue(task):
+                    stats.requeued += 1
+                    emit(
+                        f"worker {queue.worker_id} requeued in-flight "
+                        f"{task.digest[:12]} on shutdown"
+                    )
+            except Exception:  # noqa: BLE001 - the lease expiry still recovers it
+                pass
+        emit(f"worker {queue.worker_id} draining: {shutdown}")
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
     return stats
 
 
-__all__ = ["WorkerStats", "execute_task", "run_worker"]
+__all__ = ["WorkerShutdown", "WorkerStats", "execute_task", "run_worker"]

@@ -34,8 +34,10 @@ import numpy as np
 from scipy.sparse import csc_matrix, identity
 from scipy.sparse.linalg import splu
 
+from repro.faults import fault_point
 from repro.graphs.network import Network
 from repro.utils.caching import KeyedLRU
+from repro.utils.resilience import CircuitBreaker
 
 #: Valid values for every ``backend=`` parameter in the engine.
 BACKENDS = ("auto", "dense", "sparse")
@@ -48,6 +50,13 @@ SPARSE_MIN_NODES = 192
 #: ``auto`` never picks sparse above this directed edge density — dense
 #: graphs leave the LU factors with nothing to exploit.
 SPARSE_MAX_DENSITY = 0.05
+
+#: Circuit breaker guarding the sparse ``splu`` path.  After
+#: ``failure_threshold`` consecutive *unexpected* failures (not
+#: ``RoutingLoopError``, which is the documented singular-system outcome)
+#: batch solves trip to the dense LAPACK fallback — identical results to
+#: 1e-8 — and a single sparse probe is retried after the cooldown.
+SPLU_BREAKER = CircuitBreaker("backend.splu", failure_threshold=3, cooldown_s=30.0)
 
 
 def check_backend(backend: str) -> str:
@@ -152,6 +161,7 @@ def factorise_balance_system(network: Network, row: np.ndarray, target: int):
     """
     from repro.engine.simulator_batch import RoutingLoopError
 
+    fault_point("backend.factorise")
     try:
         return splu(sparse_balance_system(network, row, target))
     except RuntimeError as error:
@@ -218,6 +228,7 @@ __all__ = [
     "BACKENDS",
     "SPARSE_MIN_NODES",
     "SPARSE_MAX_DENSITY",
+    "SPLU_BREAKER",
     "check_backend",
     "edge_density",
     "active_default",

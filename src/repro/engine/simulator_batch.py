@@ -27,11 +27,13 @@ solution with significantly negative throughflow.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
 from repro.engine.backend import (
+    SPLU_BREAKER,
     FactorisationCache,
     select_backend,
     shared_factorisation_cache,
@@ -150,8 +152,27 @@ def _solve_batch(
     scalar simulator's negative-flow consistency check.
     """
     rhs = injections if injections.ndim == 3 else injections[:, :, np.newaxis]
-    if select_backend(network, backend) == "sparse":
-        flows = _solve_sparse(network, table, rhs, targets, cache)
+    if select_backend(network, backend) == "sparse" and SPLU_BREAKER.allows():
+        # The sparse path sits behind a circuit breaker: an unexpected
+        # splu failure falls back to the dense stack for this batch
+        # (identical flows to 1e-8), and K consecutive failures trip every
+        # batch to dense until a cooldown probe succeeds.  RoutingLoopError
+        # is the documented singular-system outcome, not a solver fault.
+        try:
+            flows = _solve_sparse(network, table, rhs, targets, cache)
+        except RoutingLoopError:
+            SPLU_BREAKER.record_success()
+            raise
+        except Exception as exc:
+            SPLU_BREAKER.record_failure()
+            warnings.warn(
+                f"sparse solve failed ({exc!r}); falling back to dense",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            flows = _solve_dense(network, table, rhs, targets)
+        else:
+            SPLU_BREAKER.record_success()
     else:
         flows = _solve_dense(network, table, rhs, targets)
     flows = _check_negative_flows(flows, rhs, targets)

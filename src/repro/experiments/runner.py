@@ -307,6 +307,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result-store directory backing the /run endpoint",
     )
+    serve_p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        metavar="N",
+        help="max requests waiting for a tick before new ones get a 503",
+    )
+    serve_p.add_argument(
+        "--tick-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-tick deadline: a slower tick answers its requests with a "
+        "typed 504 instead of hanging them (default: no watchdog)",
+    )
 
     list_p = sub.add_parser("list", help="list registered components or scenarios")
     list_p.add_argument("axis", nargs="?", default="all", choices=LIST_AXES)
@@ -476,6 +491,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.distributed.worker import run_worker
 
+    # run_worker installs SIGTERM/SIGINT handlers (we are on the main
+    # thread here): the in-flight task is requeued without burning an
+    # attempt and the worker exits 0 after printing its summary.
     print(f"worker watching {args.queue}", flush=True)
     stats = run_worker(
         args.queue,
@@ -489,12 +507,16 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         wait_for_queue=args.wait,
         echo=args.echo,
         log=print if args.echo else None,
+        handle_signals=True,
     )
     print(stats.summary(), flush=True)
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.api.service import ServiceSpec
     from repro.service.server import serve
 
@@ -506,7 +528,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         batch_window_ms=args.window_ms,
         result_store=args.store,
+        max_queue_depth=args.queue_depth,
+        tick_timeout_s=args.tick_timeout,
     )
+    # Graceful drain on SIGTERM/SIGINT: the handler only flips an event;
+    # the foreground loop below does the actual close, so in-flight ticks
+    # finish and their waiters get answers before the socket drops.
+    stop = threading.Event()
+    previous = {
+        sig: signal.signal(sig, lambda _signum, _frame: stop.set())
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     server = serve(spec, echo=args.echo)
     # One parse-friendly readiness line: CI smoke and the loadtest harness
     # wait for "serving" on stdout before opening connections.
@@ -516,11 +548,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     try:
-        server.serve_forever()
+        # Poll the event instead of a bare join: Event.wait with a timeout
+        # is reliably interruptible by the signal handler on every platform.
+        while not stop.is_set():
+            stop.wait(0.5)
+        print("draining: closing batcher and HTTP listener", flush=True)
     except KeyboardInterrupt:
-        print("shutting down", flush=True)
+        print("draining: closing batcher and HTTP listener", flush=True)
     finally:
         server.close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("drained: clean shutdown", flush=True)
     return 0
 
 

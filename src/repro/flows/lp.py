@@ -52,6 +52,7 @@ import hashlib
 import json
 import os
 import threading
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -62,13 +63,16 @@ from scipy import sparse
 from scipy.optimize import linprog
 from scipy.sparse.csgraph import dijkstra
 
+from repro.faults import fault_point
 from repro.graphs.network import Network
 from repro.utils.caching import (
     KeyedLRU,
     atomic_write_text,
+    quarantine_entry,
     sharded_digests,
     sharded_entry_path,
 )
+from repro.utils.resilience import CircuitBreaker
 from repro.utils.validation import check_square_matrix
 
 # The HiGHS bindings scipy vendors for linprog (scipy >= 1.15).  Probed
@@ -95,6 +99,14 @@ except ImportError:  # pragma: no cover
 def direct_solver_available() -> bool:
     """Whether warm-started direct-HiGHS solves are available (else linprog)."""
     return _highs is not None
+
+
+#: Circuit breaker guarding the direct-HiGHS solve path.  After
+#: ``failure_threshold`` consecutive *unexpected* failures (not LP
+#: infeasibility, which is a legitimate typed outcome) solves trip to the
+#: ``linprog`` fallback — same optimum to 1e-8, no persistent model — and a
+#: single probe is retried after the cooldown (half-open).
+DIRECT_SOLVER_BREAKER = CircuitBreaker("lp.direct", failure_threshold=3, cooldown_s=30.0)
 
 
 #: Objectives :class:`LinearProgramStructure` can assemble.
@@ -387,12 +399,39 @@ class LinearProgramStructure:
         )
 
     def solve(self, demand: np.ndarray, warm_start: bool = True) -> OptimalRouting:
-        """Solve for one demand matrix on this support (RHS-only re-solve)."""
+        """Solve for one demand matrix on this support (RHS-only re-solve).
+
+        The direct-HiGHS path sits behind :data:`DIRECT_SOLVER_BREAKER`:
+        an unexpected solver failure falls back to ``linprog`` for *this*
+        solve (identical optimum to 1e-8), and after K consecutive
+        failures the breaker opens and solves go straight to ``linprog``
+        until a cooldown probe succeeds.  :class:`InfeasibleRoutingError`
+        is a legitimate typed outcome, never a breaker failure.
+        """
         self.solves += 1
         b_eq = self.equality_rhs(demand)
-        if _highs is None:
+        if _highs is None or not DIRECT_SOLVER_BREAKER.allows():
             return self._solve_linprog(b_eq)
-        return self._solve_direct(demand, b_eq, warm_start)
+        try:
+            fault_point("lp.solve")
+            result = self._solve_direct(demand, b_eq, warm_start)
+        except InfeasibleRoutingError:
+            DIRECT_SOLVER_BREAKER.record_success()
+            raise
+        except Exception as exc:
+            DIRECT_SOLVER_BREAKER.record_failure()
+            # A wedged persistent model would poison every later re-solve;
+            # drop it so the next direct attempt rebuilds from scratch.
+            self._model = None
+            self._model_lp = None
+            warnings.warn(
+                f"direct LP solve failed ({exc!r}); falling back to linprog",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._solve_linprog(b_eq)
+        DIRECT_SOLVER_BREAKER.record_success()
+        return result
 
     def _solve_linprog(self, b_eq: np.ndarray) -> OptimalRouting:
         result = linprog(
@@ -744,16 +783,31 @@ class LPOptimumStore:
         return sharded_entry_path(self.directory, digest)
 
     def get(self, network: Network, demand_matrix: np.ndarray) -> Optional[float]:
-        """The stored optimum, or ``None`` on any miss (incl. corruption)."""
+        """The stored optimum, or ``None`` on a miss.
+
+        A present-but-corrupt entry (truncated, bad JSON, wrong format,
+        non-numeric optimum) is quarantined as ``*.json.corrupt`` with a
+        one-line warning, then reported as a miss.
+        """
         path = self.path_for(self.digest(network, demand_matrix))
         try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            quarantine_entry(path, f"unreadable: {exc}")
+            return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            quarantine_entry(path, f"invalid JSON: {exc}")
             return None
         if not isinstance(data, dict) or data.get("format") != LP_STORE_FORMAT:
+            quarantine_entry(path, f"unsupported entry format {data.get('format')!r}")
             return None
         optimum = data.get("optimum")
         if not isinstance(optimum, (int, float)) or isinstance(optimum, bool):
+            quarantine_entry(path, f"non-numeric optimum {optimum!r}")
             return None
         return float(optimum)
 
@@ -763,6 +817,7 @@ class LPOptimumStore:
         payload = json.dumps(
             {"format": LP_STORE_FORMAT, "key": digest, "optimum": float(optimum)}
         )
+        fault_point("lp_store.put")
         return atomic_write_text(self.path_for(digest), payload)
 
     def hashes(self) -> list[str]:
@@ -839,10 +894,24 @@ class OptimalUtilisationCache(KeyedLRU):
         return None
 
     def put(self, network: Network, demand_matrix: np.ndarray, optimum: float) -> None:
-        """Record an externally-computed optimum (parallel warm-up merge)."""
+        """Record an externally-computed optimum (parallel warm-up merge).
+
+        Persistence is best-effort: the optimum is already in memory, so a
+        failed on-disk write (full disk, injected fault) degrades to a
+        warning instead of killing the run — the next process just
+        re-solves that matrix once.
+        """
         self.insert(self._key(network, demand_matrix), float(optimum))
         if self.store is not None:
-            self.store.put(network, demand_matrix, optimum)
+            try:
+                self.store.put(network, demand_matrix, optimum)
+            except (OSError, RuntimeError) as exc:
+                warnings.warn(
+                    f"LP optimum persist failed ({exc!r}); continuing with the "
+                    "in-memory value",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def optimal_max_utilisation(self, network: Network, demand_matrix: np.ndarray) -> float:
         cached = self.peek(network, demand_matrix)
@@ -857,6 +926,7 @@ class OptimalUtilisationCache(KeyedLRU):
 
 
 __all__ = [
+    "DIRECT_SOLVER_BREAKER",
     "LP_OBJECTIVES",
     "LP_STORE_ENV",
     "LP_STORE_FORMAT",

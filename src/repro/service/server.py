@@ -38,6 +38,7 @@ from repro.api.service import (
     ServiceSpec,
 )
 from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.faults import fault_point
 from repro.service.engine import ServiceEngine
 
 
@@ -45,18 +46,36 @@ class ServiceClosedError(RuntimeError):
     """The service is shutting down and no longer accepts requests."""
 
 
+class ServiceOverloadedError(RuntimeError):
+    """The tick queue is at ``max_queue_depth``; the request was shed (503).
+
+    Load-shedding is deliberate back-pressure, not failure: the service is
+    healthy, just saturated — clients retry with backoff.
+    """
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline passed before its tick answered it (504)."""
+
+
+class TickTimeoutError(RuntimeError):
+    """An evaluation tick exceeded ``tick_timeout_s``; its requests get
+    this typed error instead of hanging every waiter (504)."""
+
+
 class _Pending:
     """One enqueued request waiting for its tick."""
 
-    __slots__ = ("request", "event", "entries", "batched", "elapsed_ms", "error")
+    __slots__ = ("request", "event", "entries", "batched", "elapsed_ms", "error", "deadline")
 
-    def __init__(self, request: RouteRequest):
+    def __init__(self, request: RouteRequest, deadline: Optional[float] = None):
         self.request = request
         self.event = threading.Event()
         self.entries = None
         self.batched = 1
         self.elapsed_ms = 0.0
         self.error: Optional[BaseException] = None
+        self.deadline = deadline
 
 
 class _Batcher:
@@ -70,20 +89,53 @@ class _Batcher:
         self.ticks = 0
         self.requests = 0
         self.max_coalesced = 0
+        self.shed = 0
+        self.deadline_expired = 0
+        self.tick_timeouts = 0
         self._thread = threading.Thread(
             target=self._loop, name="repro-service-batcher", daemon=True
         )
         self._thread.start()
 
-    def submit(self, request: RouteRequest) -> RouteResponse:
-        """Enqueue one request and block until its tick answers it."""
-        pending = _Pending(request)
+    def submit(
+        self, request: RouteRequest, deadline: Optional[float] = None
+    ) -> RouteResponse:
+        """Enqueue one request and block until its tick answers it.
+
+        ``deadline`` is an absolute ``time.time()`` epoch (propagated from
+        the client's ``X-Deadline`` header).  A request whose deadline
+        passes while still queued — or whose tick has not answered in time
+        — raises :class:`DeadlineExceededError` instead of blocking
+        forever; submissions beyond ``max_queue_depth`` are shed with
+        :class:`ServiceOverloadedError` before they queue at all.
+        """
+        pending = _Pending(request, deadline)
         with self._cv:
             if self._closed:
                 raise ServiceClosedError("service is shutting down")
+            depth = self._server.spec.max_queue_depth
+            if len(self._queue) >= depth:
+                self.shed += 1
+                raise ServiceOverloadedError(
+                    f"tick queue is full ({depth} waiting); retry with backoff"
+                )
             self._queue.append(pending)
             self._cv.notify()
-        pending.event.wait()
+        if deadline is None:
+            pending.event.wait()
+        else:
+            remaining = deadline - time.time()
+            if remaining <= 0.0 or not pending.event.wait(remaining):
+                with self._cv:
+                    try:
+                        self._queue.remove(pending)
+                    except ValueError:
+                        pass  # already taken into a tick; its answer is moot
+                if not pending.event.is_set():
+                    self.deadline_expired += 1
+                    raise DeadlineExceededError(
+                        "request deadline expired before its tick answered"
+                    )
         if pending.error is not None:
             raise pending.error
         return RouteResponse(
@@ -92,6 +144,40 @@ class _Batcher:
             batched=pending.batched,
             elapsed_ms=pending.elapsed_ms,
         )
+
+    def _tick(self, engine: ServiceEngine, requests: list) -> list:
+        fault_point("service.tick")
+        return engine.evaluate_batch(requests)
+
+    def _tick_with_watchdog(self, engine: ServiceEngine, requests: list, timeout: float):
+        """Run one tick on a watchdog thread, bounding its wall-clock.
+
+        Only used when ``tick_timeout_s`` is configured — the default path
+        stays inline with zero per-tick thread overhead.  A timed-out tick
+        keeps running on its daemon thread (its results are discarded);
+        the waiters get :class:`TickTimeoutError` now instead of hanging.
+        """
+        box: dict = {}
+        done = threading.Event()
+
+        def work():
+            try:
+                box["outcomes"] = self._tick(engine, requests)
+            except BaseException as exc:  # noqa: BLE001 - relayed to waiters
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=work, name="repro-service-tick", daemon=True)
+        thread.start()
+        if not done.wait(timeout):
+            self.tick_timeouts += 1
+            raise TickTimeoutError(
+                f"evaluation tick exceeded its {timeout:g}s deadline"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["outcomes"]
 
     def _loop(self) -> None:
         while True:
@@ -108,16 +194,31 @@ class _Batcher:
                 time.sleep(window)
             width = self._server.spec.workers
             with self._cv:
-                batch = [
-                    self._queue.popleft()
-                    for _ in range(min(len(self._queue), width))
-                ]
+                now = time.time()
+                batch = []
+                while self._queue and len(batch) < width:
+                    pending = self._queue.popleft()
+                    if pending.deadline is not None and now >= pending.deadline:
+                        # Already expired while queued: answer immediately
+                        # rather than spending tick capacity on it.
+                        self.deadline_expired += 1
+                        pending.error = DeadlineExceededError(
+                            "request deadline expired while queued"
+                        )
+                        pending.event.set()
+                        continue
+                    batch.append(pending)
             if not batch:
                 continue
             engine = self._server.engine  # pin: reloads swap for later ticks
+            tick_timeout = self._server.spec.tick_timeout_s
+            requests = [p.request for p in batch]
             start = time.perf_counter()
             try:
-                outcomes = engine.evaluate_batch([p.request for p in batch])
+                if tick_timeout is None:
+                    outcomes = self._tick(engine, requests)
+                else:
+                    outcomes = self._tick_with_watchdog(engine, requests, tick_timeout)
             except BaseException as exc:  # engine-level failure fails the tick
                 outcomes = [exc] * len(batch)
             elapsed_ms = (time.perf_counter() - start) * 1000.0
@@ -172,8 +273,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _fail(self, status: int, message: str) -> None:
-        self._send(status, {"schema_version": SCHEMA_VERSION, "error": message})
+    def _fail(self, status: int, message: str, error_type: Optional[str] = None) -> None:
+        payload = {"schema_version": SCHEMA_VERSION, "error": message}
+        if error_type is not None:
+            payload["error_type"] = error_type
+        self._send(status, payload)
+
+    def _request_deadline(self) -> Optional[float]:
+        """The ``X-Deadline`` header as an absolute epoch, if present."""
+        raw = self.headers.get("X-Deadline")
+        if raw is None:
+            return None
+        try:
+            deadline = float(raw)
+        except (TypeError, ValueError):
+            raise SpecValidationError(
+                f"X-Deadline must be an absolute unix timestamp, got {raw!r}"
+            ) from None
+        return deadline
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -206,7 +323,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             body = self._read_json()
             if self.path == "/evaluate":
-                response = service.evaluate(RouteRequest.from_dict(body))
+                response = service.evaluate(
+                    RouteRequest.from_dict(body), deadline=self._request_deadline()
+                )
                 self._send(200, response.to_dict())
             elif self.path == "/run":
                 result = service.run_result()
@@ -221,10 +340,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._fail(404, f"unknown endpoint {self.path!r}")
         except SpecValidationError as exc:
             self._fail(400, str(exc))
-        except ServiceClosedError as exc:
-            self._fail(503, str(exc))
+        except (ServiceClosedError, ServiceOverloadedError) as exc:
+            self._fail(503, str(exc), type(exc).__name__)
+        except (DeadlineExceededError, TickTimeoutError) as exc:
+            self._fail(504, str(exc), type(exc).__name__)
         except Exception as exc:  # per-request isolation: report, keep serving
-            self._fail(500, f"{type(exc).__name__}: {exc}")
+            self._fail(500, f"{type(exc).__name__}: {exc}", type(exc).__name__)
 
 
 class ServiceServer:
@@ -261,9 +382,15 @@ class ServiceServer:
         """The current engine; reads are atomic, reloads swap the reference."""
         return self._engine
 
-    def evaluate(self, request: RouteRequest) -> RouteResponse:
-        """Answer one request through the coalescing tick loop."""
-        return self._batcher.submit(request)
+    def evaluate(
+        self, request: RouteRequest, deadline: Optional[float] = None
+    ) -> RouteResponse:
+        """Answer one request through the coalescing tick loop.
+
+        ``deadline`` (absolute epoch) bounds the total queue + tick wait;
+        see :meth:`_Batcher.submit` for the shedding/deadline semantics.
+        """
+        return self._batcher.submit(request, deadline)
 
     def run_result(self):
         """The full offline scenario result (memoised; see the engine)."""
@@ -310,6 +437,9 @@ class ServiceServer:
         stats["ticks"] = self._batcher.ticks
         stats["requests"] = self._batcher.requests
         stats["max_coalesced"] = self._batcher.max_coalesced
+        stats["shed"] = self._batcher.shed
+        stats["deadline_expired"] = self._batcher.deadline_expired
+        stats["tick_timeouts"] = self._batcher.tick_timeouts
         return stats
 
     # -- lifecycle -----------------------------------------------------
@@ -375,4 +505,12 @@ def serve(
     return ServiceServer(spec, echo=echo)
 
 
-__all__ = ["ServiceClosedError", "ServiceServer", "coerce_service_spec", "serve"]
+__all__ = [
+    "DeadlineExceededError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "ServiceServer",
+    "TickTimeoutError",
+    "coerce_service_spec",
+    "serve",
+]

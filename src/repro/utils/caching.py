@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Optional, TypeVar
@@ -126,6 +127,28 @@ def sharded_digests(root: Path) -> list[str]:
     )
 
 
+def quarantine_entry(path: Path, reason: str) -> Optional[Path]:
+    """Move a corrupt store entry aside as ``<name>.corrupt`` and warn once.
+
+    Quarantined files keep the evidence for post-mortem while dropping out
+    of ``sharded_digests`` (which only matches ``*.json``), so ``hashes()``
+    and ``len()`` never count them and the next ``put`` rebuilds the entry
+    cleanly.  Returns the quarantine path, or ``None`` if another process
+    already moved or replaced the entry (the race is benign).
+    """
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    warnings.warn(
+        f"quarantined corrupt store entry {path.name} -> {target.name}: {reason}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return target
+
+
 def atomic_write_text(path: Path, payload: str) -> Path:
     """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
 
@@ -147,4 +170,10 @@ def atomic_write_text(path: Path, payload: str) -> Path:
     return path
 
 
-__all__ = ["KeyedLRU", "atomic_write_text", "sharded_digests", "sharded_entry_path"]
+__all__ = [
+    "KeyedLRU",
+    "atomic_write_text",
+    "quarantine_entry",
+    "sharded_digests",
+    "sharded_entry_path",
+]

@@ -1,0 +1,110 @@
+"""Small resilience primitives shared across the stack.
+
+Currently: a thread-safe three-state circuit breaker used by the LP solve
+path (direct HiGHS -> ``linprog`` fallback) and the sparse backend
+(``splu`` -> dense fallback).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Closed -> open after K consecutive failures -> half-open on cooldown.
+
+    ``allows()`` answers "may I try the protected path right now?".  While
+    open, it returns False until ``cooldown_s`` has elapsed, then lets
+    exactly one probe through (half-open); the probe's
+    ``record_success``/``record_failure`` closes or re-opens the breaker.
+    The clock is injectable so tests can step time deterministically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self._trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._probing or self._clock() - self._opened_at >= self.cooldown_s:
+                return "half-open"
+            return "open"
+
+    @property
+    def trips(self) -> int:
+        with self._lock:
+            return self._trips
+
+    def allows(self) -> bool:
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._probing:
+                # One probe at a time; concurrent callers take the fallback.
+                return False
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive += 1
+            if self._probing:
+                # Failed probe: re-open for a fresh cooldown.
+                self._probing = False
+                self._opened_at = self._clock()
+            elif self._opened_at is None and self._consecutive >= self.failure_threshold:
+                self._opened_at = self._clock()
+                self._trips += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._consecutive = 0
+            self._opened_at = None
+            self._probing = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            if self._opened_at is None:
+                state = "closed"
+            elif self._probing or self._clock() - self._opened_at >= self.cooldown_s:
+                state = "half-open"
+            else:
+                state = "open"
+            return {
+                "name": self.name,
+                "state": state,
+                "consecutive_failures": self._consecutive,
+                "trips": self._trips,
+            }

@@ -55,6 +55,20 @@ class TestServiceSpec:
         assert data["port"] == 9000 and data["workers"] == 2
         assert "host" not in data and "batch_window_ms" not in data
 
+    def test_resilience_knobs_round_trip_and_stay_off_default_hashes(self):
+        # New knobs (PR 10) follow the same stability rule: omitted at
+        # defaults, so every pre-existing spec hash is unchanged.
+        plain = ServiceSpec(scenario="fig6")
+        assert "max_queue_depth" not in plain.to_dict()
+        assert "tick_timeout_s" not in plain.to_dict()
+        knobbed = ServiceSpec(scenario="fig6", max_queue_depth=4, tick_timeout_s=1.5)
+        data = knobbed.to_dict()
+        assert data["max_queue_depth"] == 4 and data["tick_timeout_s"] == 1.5
+        again = ServiceSpec.from_json(knobbed.to_json())
+        assert again == knobbed and again.spec_hash() == knobbed.spec_hash()
+        assert knobbed.scenario.spec_hash() == FIG6_SCENARIO_HASH
+        assert knobbed.spec_hash() != plain.spec_hash()
+
     def test_fig6_scenario_hash_pinned(self):
         spec = ServiceSpec(scenario="fig6")
         assert spec.scenario.spec_hash() == FIG6_SCENARIO_HASH
@@ -77,6 +91,11 @@ class TestServiceSpec:
             {"batch_window_ms": -1.0},
             {"batch_window_ms": float("nan")},
             {"result_store": ""},
+            {"max_queue_depth": 0},
+            {"max_queue_depth": True},
+            {"tick_timeout_s": 0.0},
+            {"tick_timeout_s": -2.0},
+            {"tick_timeout_s": float("inf")},
         ],
     )
     def test_bad_knobs_rejected(self, kwargs):
